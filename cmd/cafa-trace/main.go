@@ -1,0 +1,83 @@
+// Command cafa-trace runs one of the modeled applications on the
+// instrumented simulated runtime and writes its execution trace — the
+// online half of the CAFA pipeline (the customized ROM + logger
+// device of §5).
+//
+// Usage:
+//
+//	cafa-trace -app MyTracks -o mytracks.trace [-seed 1] [-scale 1] [-text]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cafa/internal/apps"
+	"cafa/internal/sim"
+	"cafa/internal/trace"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "", "application model to run (see -list)")
+		out     = flag.String("o", "", "output trace file (default <app>.trace)")
+		seed    = flag.Uint64("seed", 1, "scheduler seed")
+		scale   = flag.Int("scale", 1, "divide benign filler volume (1 = paper event counts)")
+		text    = flag.Bool("text", false, "also dump the trace as text to stdout")
+		list    = flag.Bool("list", false, "list available application models")
+	)
+	flag.Parse()
+	if *list {
+		for _, spec := range apps.Registry {
+			fmt.Printf("%-12s %5d events, %2d planted races — %s\n",
+				spec.Name, spec.Paper.Events, spec.Paper.Reported, spec.Workload)
+		}
+		return
+	}
+	if *appName == "" {
+		fail("missing -app (use -list to see models)")
+	}
+	spec, ok := apps.ByName(*appName)
+	if !ok {
+		fail("unknown app %q; available: %s", *appName, strings.Join(apps.Names(), ", "))
+	}
+	col := trace.NewCollector()
+	b, err := apps.Build(spec, sim.Config{Tracer: col, Seed: *seed}, *scale)
+	if err != nil {
+		fail("build: %v", err)
+	}
+	if err := b.Sys.Run(); err != nil {
+		fail("run: %v", err)
+	}
+	if err := col.T.Validate(); err != nil {
+		fail("trace validation: %v", err)
+	}
+	path := *out
+	if path == "" {
+		path = strings.ToLower(spec.Name) + ".trace"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := col.T.Encode(f); err != nil {
+		fail("encode: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fail("close: %v", err)
+	}
+	fmt.Printf("%s: %d events, %d entries, %d crashes -> %s\n",
+		spec.Name, col.T.EventCount(), col.T.Len(), len(b.Sys.Crashes()), path)
+	if *text {
+		if err := col.T.WriteText(os.Stdout); err != nil {
+			fail("%v", err)
+		}
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cafa-trace: %s\n", fmt.Sprintf(format, args...))
+	os.Exit(1)
+}

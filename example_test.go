@@ -1,0 +1,74 @@
+package cafa_test
+
+import (
+	"fmt"
+
+	"cafa"
+)
+
+// Example records a trace of a racy two-event program and analyzes it
+// offline — the full CAFA pipeline through the public API.
+func Example() {
+	prog := cafa.MustAssemble(`
+.method run(this) regs=1
+    return-void
+.end
+
+.method onUse(h) regs=3
+    iget v1, h, session
+    invoke-virtual run, v1
+    return-void
+.end
+
+.method onFree(h) regs=2
+    const-null v1
+    iput v1, h, session
+    return-void
+.end
+
+.method sendUse(h) regs=5
+    sget-int v1, mainQ
+    const-method v2, onUse
+    const-int v3, #0
+    send v1, v2, v3, h
+    return-void
+.end
+
+.method sendFree(h) regs=5
+    const-int v3, #20
+    sleep v3
+    sget-int v1, mainQ
+    const-method v2, onFree
+    const-int v3, #0
+    send v1, v2, v3, h
+    return-void
+.end
+`)
+	col := cafa.NewCollector()
+	sys := cafa.NewSystem(prog, cafa.SystemConfig{Tracer: col, Seed: 1})
+	looper := sys.AddLooper("main", 0)
+	sys.Heap().SetStatic(prog.FieldID("mainQ"), cafa.Int(looper.Handle()))
+
+	activity := sys.Heap().New("Activity")
+	session := sys.Heap().New("Session")
+	activity.Set(prog.FieldID("session"), cafa.Obj(session))
+	if _, err := sys.StartThread("s1", "sendUse", cafa.Obj(activity)); err != nil {
+		panic(err)
+	}
+	if _, err := sys.StartThread("s2", "sendFree", cafa.Obj(activity)); err != nil {
+		panic(err)
+	}
+	if err := sys.Run(); err != nil {
+		panic(err)
+	}
+
+	rep, err := cafa.Analyze(col.T, cafa.AnalyzeOptions{})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range rep.Races {
+		fmt.Println(rep.Describe(r))
+	}
+	// Output:
+	// intra-thread race on o1.session: use in onUse (onUse pc=1) vs free in onFree (onFree pc=1)
+}

@@ -1,0 +1,131 @@
+// ConnectBot reproduces Figures 2 and 5 of the paper: why a naive
+// low-level race detector drowns in false positives on event-driven
+// code, and how CAFA's commutativity heuristics keep benign races out
+// of the report.
+//
+//   - Figure 2: onPause and onLayout conflict on
+//     terminal.resizeAllowed, but looper atomicity makes them
+//     commutative — a read-write "race" that is not a bug.
+//   - Figure 5: onFocus guards its use of handler with a null check
+//     (if-guard filter) and onResume re-allocates handler before using
+//     it (intra-event-allocation filter).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cafa"
+)
+
+const src = `
+.method run(this) regs=1
+    return-void
+.end
+
+; --- Figure 2: commutative scalar conflict ---
+
+.method onPause(term) regs=2
+    const-int v1, #0
+    iput-int v1, term, resizeAllowed
+    return-void
+.end
+
+.method onLayout(term) regs=4
+    iget-int v1, term, resizeAllowed
+    const-int v2, #0
+    if-int-eq v1, v2, out
+    const-int v3, #80
+    iput-int v3, term, columns
+    iput-int v3, term, rows
+out:
+    return-void
+.end
+
+; --- Figure 5: guarded / re-allocated uses of handler ---
+
+.method onPauseH(act) regs=2
+    const-null v1
+    iput v1, act, handler
+    return-void
+.end
+
+.method onFocus(act) regs=3
+    iget v1, act, handler
+    if-eqz v1, skip
+    invoke-virtual run, v1
+skip:
+    return-void
+.end
+
+.method onResume(act) regs=3
+    new v1, Handler
+    iput v1, act, handler
+    iget v2, act, handler
+    invoke-virtual run, v2
+    return-void
+.end
+
+; --- system thread that posts the internally generated events ---
+
+.method sysThread(arg) regs=6
+    sget-int v1, mainQ
+    const-int v3, #0
+    sget v0, termObj
+    const-method v2, onLayout
+    send v1, v2, v3, v0
+    sget v0, actObj
+    const-method v2, onFocus
+    send v1, v2, v3, v0
+    const-method v2, onResume
+    send v1, v2, v3, v0
+    return-void
+.end
+`
+
+func main() {
+	prog := cafa.MustAssemble(src)
+	col := cafa.NewCollector()
+	sys := cafa.NewSystem(prog, cafa.SystemConfig{Tracer: col, Seed: 1})
+	main := sys.AddLooper("main", 0)
+	sys.Heap().SetStatic(prog.FieldID("mainQ"), cafa.Int(main.Handle()))
+
+	term := sys.Heap().New("TerminalView")
+	term.Set(prog.FieldID("resizeAllowed"), cafa.Int(1))
+	sys.Heap().SetStatic(prog.FieldID("termObj"), cafa.Obj(term))
+
+	act := sys.Heap().New("Activity")
+	handler := sys.Heap().New("Handler")
+	act.Set(prog.FieldID("handler"), cafa.Obj(handler))
+	sys.Heap().SetStatic(prog.FieldID("actObj"), cafa.Obj(act))
+
+	if _, err := sys.StartThread("system", "sysThread", cafa.Null()); err != nil {
+		log.Fatal(err)
+	}
+	// User actions arrive later: pause the terminal, then the
+	// activity.
+	must(sys.Inject(50, main, "onPause", cafa.Obj(term), 0))
+	must(sys.Inject(60, main, "onPauseH", cafa.Obj(act), 0))
+	must(sys.Run())
+
+	rep, err := cafa.Analyze(col.T, cafa.AnalyzeOptions{Naive: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("events traced: %d, crashes: %d\n", col.T.EventCount(), len(sys.Crashes()))
+	fmt.Printf("naive low-level detector: %d conflicting-access races\n", len(rep.Naive))
+	for _, nr := range rep.Naive {
+		fmt.Printf("  conflict on %s\n", col.T.VarName(nr.Var))
+	}
+	fmt.Printf("CAFA use-free detector:  %d races\n", len(rep.Races))
+	fmt.Printf("filters: if-guard pruned %d, intra-event-allocation pruned %d\n",
+		rep.Stats.FilteredIfGuard, rep.Stats.FilteredIntraAlloc)
+	fmt.Println("\nThe Figure 2 scalar conflict and both Figure 5 pointer races are")
+	fmt.Println("commutative under looper atomicity; CAFA reports none of them.")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module cafa
+
+go 1.22

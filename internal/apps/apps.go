@@ -1,0 +1,324 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"cafa/internal/asm"
+	"cafa/internal/dvm"
+	"cafa/internal/sim"
+)
+
+// PaperRow is one row of Table 1.
+type PaperRow struct {
+	Events        int
+	Reported      int
+	A, B, C       int // true races by class
+	FP1, FP2, FP3 int
+}
+
+// Total returns A+B+C+FP1+FP2+FP3 (must equal Reported).
+func (r PaperRow) Total() int { return r.A + r.B + r.C + r.FP1 + r.FP2 + r.FP3 }
+
+// Harmful returns the true-race count.
+func (r PaperRow) Harmful() int { return r.A + r.B + r.C }
+
+// Spec describes one application model.
+type Spec struct {
+	Name  string
+	Paper PaperRow
+	// NaiveTarget, when nonzero, is the paper-reported count of
+	// low-level conflicting-access races for this app (only ConnectBot
+	// has one: 1,664 in §4.1). Build adds thread-only conflict pairs
+	// to approach it.
+	NaiveTarget int
+	// TryCatchUses wraps class-(a) uses in catch-all handlers — the
+	// ToDoList data-loss pattern of §6.2.
+	TryCatchUses bool
+	// FieldWork and ArithWork set each filler event's body: traced
+	// field-update iterations vs. untraced arithmetic iterations. The
+	// mix determines the app's Fig. 8 tracing slowdown.
+	FieldWork, ArithWork int
+	// Workload is a short description of the §6.1 interaction session
+	// the model stands in for.
+	Workload string
+}
+
+// Registry lists the ten evaluated applications with their Table 1
+// rows.
+var Registry = []Spec{
+	{
+		Name:        "ConnectBot",
+		FieldWork:   12,
+		ArithWork:   30,
+		Paper:       PaperRow{Events: 3058, Reported: 3, B: 2, FP1: 1},
+		NaiveTarget: 1664,
+		Workload:    "connect to a host, type a password, log in",
+	},
+	{
+		Name:      "MyTracks",
+		FieldWork: 16,
+		ArithWork: 16,
+		Paper:     PaperRow{Events: 6628, Reported: 8, A: 1, B: 3, FP2: 4},
+		Workload:  "record a GPS track, pause by switching away, switch back",
+	},
+	{
+		Name:      "ZXing",
+		FieldWork: 8,
+		ArithWork: 60,
+		Paper:     PaperRow{Events: 4554, Reported: 5, B: 2, FP1: 1, FP2: 1, FP3: 1},
+		Workload:  "scan a barcode, pause to home screen, scan again",
+	},
+	{
+		Name:         "ToDoList",
+		FieldWork:    24,
+		ArithWork:    6,
+		Paper:        PaperRow{Events: 7122, Reported: 9, A: 8, FP2: 1},
+		TryCatchUses: true,
+		Workload:     "add two notes to the widget, delete them",
+	},
+	{
+		Name:      "Browser",
+		FieldWork: 10,
+		ArithWork: 40,
+		Paper:     PaperRow{Events: 3965, Reported: 35, B: 8, C: 19, FP1: 1, FP2: 7},
+		Workload:  "load the Google homepage, search, follow a link, go back",
+	},
+	{
+		Name:      "Firefox",
+		FieldWork: 10,
+		ArithWork: 50,
+		Paper:     PaperRow{Events: 5467, Reported: 25, B: 6, C: 10, FP1: 4, FP2: 5},
+		Workload:  "same browsing session as Browser",
+	},
+	{
+		Name:      "VLC",
+		FieldWork: 6,
+		ArithWork: 70,
+		Paper:     PaperRow{Events: 2805, Reported: 7, C: 1, FP2: 5, FP3: 1},
+		Workload:  "play a clip, pause to home screen, resume playing",
+	},
+	{
+		Name:      "FBReader",
+		FieldWork: 14,
+		ArithWork: 20,
+		Paper:     PaperRow{Events: 3528, Reported: 9, A: 1, B: 3, C: 1, FP1: 2, FP2: 2},
+		Workload:  "read the tutorial, rotate the phone, page back",
+	},
+	{
+		Name:      "Camera",
+		FieldWork: 16,
+		ArithWork: 20,
+		Paper:     PaperRow{Events: 7287, Reported: 9, A: 1, B: 1, FP2: 5, FP3: 2},
+		Workload:  "take a picture, switch away and back, take another",
+	},
+	{
+		Name:      "Music",
+		FieldWork: 20,
+		ArithWork: 8,
+		Paper:     PaperRow{Events: 6684, Reported: 5, A: 2, FP2: 2, FP3: 1},
+		Workload:  "play an MP3, pause to home screen, resume",
+	},
+}
+
+// Names returns the registry's app names in order.
+func Names() []string {
+	out := make([]string, len(Registry))
+	for i, s := range Registry {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// ByName looks an app up case-insensitively.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Registry {
+		if strings.EqualFold(s.Name, name) {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// BuildOut is a fully wired application, ready to Run.
+type BuildOut struct {
+	Sys   *sim.System
+	Prog  *dvm.Program
+	Spec  Spec
+	Truth []Planted
+	// FillerPairs and NaivePairs record the generated volumes.
+	FillerPairs int
+	NaivePairs  int
+}
+
+// TruthByField indexes ground truth by racy field name.
+func (b *BuildOut) TruthByField() map[string]Planted {
+	out := make(map[string]Planted, len(b.Truth))
+	for _, pl := range b.Truth {
+		out[pl.Field] = pl
+	}
+	return out
+}
+
+// Build constructs an application model. scale divides the filler
+// volume (scale 1 reproduces the paper's event counts; tests use a
+// larger scale for speed). The cfg's Tracer/Seed/DelayEvent are
+// honored, so the same builder serves tracing, Fig. 8 timing, and
+// replay validation.
+func Build(spec Spec, cfg sim.Config, scale int) (*BuildOut, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	scens, err := makeScenarios(spec)
+	if err != nil {
+		return nil, err
+	}
+	var src strings.Builder
+	src.WriteString(prelude(spec.FieldWork, spec.ArithWork))
+	scenEvents := 0
+	for _, sc := range scens {
+		src.WriteString(sc.src)
+		src.WriteString("\n")
+		scenEvents += sc.planted.Events
+	}
+	prog, err := asm.Assemble(src.String())
+	if err != nil {
+		return nil, fmt.Errorf("apps: %s: %w", spec.Name, err)
+	}
+	sys := sim.NewSystem(prog, cfg)
+	main := sys.AddLooper("main", 0)
+	sys.Heap().SetStatic(prog.FieldID("mainQ"), dvm.Int64(main.Handle()))
+	needsSvc := false
+	for _, sc := range scens {
+		if strings.Contains(sc.src, "svcH") {
+			needsSvc = true
+			break
+		}
+	}
+	if needsSvc {
+		svc := sys.AddService(spec.Name+"Service", 1)
+		sys.Heap().SetStatic(prog.FieldID("svcH"), dvm.Int64(svc))
+	}
+
+	out := &BuildOut{Sys: sys, Prog: prog, Spec: spec}
+	for _, sc := range scens {
+		if err := sc.wire(sys, prog); err != nil {
+			return nil, fmt.Errorf("apps: %s: wiring %s: %w", spec.Name, sc.planted.Field, err)
+		}
+		out.Truth = append(out.Truth, sc.planted)
+	}
+
+	// Benign commutative filler to reach the Table 1 event volume.
+	fillerEvents := spec.Paper.Events - scenEvents
+	if fillerEvents < 0 {
+		fillerEvents = 0
+	}
+	fillerEvents /= scale
+	pairs := fillerEvents / 2
+	odd := fillerEvents%2 == 1
+	fflag := prog.FieldID("fflag")
+	fq := prog.FieldID("fq")
+	// Larger apps also run a background HandlerThread-style looper; a
+	// quarter of their event traffic lands on it.
+	var worker *sim.Looper
+	if spec.Paper.Events >= 4000 {
+		worker = sys.AddLooper("worker", 0)
+	}
+	for i := 0; i < pairs; i++ {
+		h := sys.Heap().New("FillHolder")
+		h.Set(fflag, dvm.Int64(1))
+		q := main
+		if worker != nil && i%4 == 3 {
+			q = worker
+		}
+		h.Set(fq, dvm.Int64(q.Handle()))
+		if err := startThread(sys, fmt.Sprintf("fw%d", i), "fillSendW", dvm.Obj(h.ID)); err != nil {
+			return nil, err
+		}
+		if err := startThread(sys, fmt.Sprintf("fr%d", i), "fillSendR", dvm.Obj(h.ID)); err != nil {
+			return nil, err
+		}
+	}
+	if odd {
+		if err := sys.Inject(1, main, "fillOne", dvm.Null(), 0); err != nil {
+			return nil, err
+		}
+	}
+	out.FillerPairs = pairs
+
+	// Thread-only conflict pairs to approach the paper's low-level
+	// race count (ConnectBot's 1,664): each filler pair already
+	// contributes one low-level race, so only the gap is topped up.
+	if spec.NaiveTarget > 0 {
+		extra := spec.NaiveTarget/scale - pairs
+		if extra < 0 {
+			extra = 0
+		}
+		nflag := prog.FieldID("nflag")
+		for i := 0; i < extra; i++ {
+			h := sys.Heap().New("NFHolder")
+			h.Set(nflag, dvm.Int64(1))
+			if err := startThread(sys, fmt.Sprintf("nw%d", i), "nfW", dvm.Obj(h.ID)); err != nil {
+				return nil, err
+			}
+			if err := startThread(sys, fmt.Sprintf("nr%d", i), "nfR", dvm.Obj(h.ID)); err != nil {
+				return nil, err
+			}
+		}
+		out.NaivePairs = extra
+	}
+	return out, nil
+}
+
+// makeScenarios expands a spec's Table 1 row into concrete scenario
+// instances with unique ids.
+func makeScenarios(spec Spec) ([]scenario, error) {
+	if spec.Paper.Total() != spec.Paper.Reported {
+		return nil, fmt.Errorf("apps: %s: row columns sum to %d, reported is %d",
+			spec.Name, spec.Paper.Total(), spec.Paper.Reported)
+	}
+	var out []scenario
+	for i := 0; i < spec.Paper.A; i++ {
+		id := fmt.Sprintf("a%d", i)
+		if i == 0 && !spec.TryCatchUses {
+			// The first intra-thread race of each app takes the
+			// Figure 1 RPC shape.
+			out = append(out, trueRPC(id))
+		} else {
+			out = append(out, truePlain(id, spec.TryCatchUses))
+		}
+	}
+	for i := 0; i < spec.Paper.B; i++ {
+		out = append(out, trueFork(fmt.Sprintf("b%d", i)))
+	}
+	for i := 0; i < spec.Paper.C; i++ {
+		out = append(out, trueThreads(fmt.Sprintf("c%d", i)))
+	}
+	for i := 0; i < spec.Paper.FP1; i++ {
+		out = append(out, fpListener(fmt.Sprintf("f1x%d", i), sim.UninstrumentedListenerBase+int64(i)))
+	}
+	for i := 0; i < spec.Paper.FP2; i++ {
+		out = append(out, fpFlag(fmt.Sprintf("f2x%d", i)))
+	}
+	for i := 0; i < spec.Paper.FP3; i++ {
+		out = append(out, fpAlias(fmt.Sprintf("f3x%d", i)))
+	}
+	// Every app also carries guarded-benign traffic (the Figure 5
+	// pattern) that the heuristics must prune; Table 1's counts are
+	// post-filter.
+	for i := 0; i < guardedPerApp; i++ {
+		out = append(out, guardedBenign(fmt.Sprintf("g%d", i)))
+	}
+	for i := 0; i < lockedPerApp; i++ {
+		out = append(out, lockedBenign(fmt.Sprintf("lk%d", i)))
+	}
+	return out, nil
+}
+
+// guardedPerApp and lockedPerApp are the benign-but-racy-looking
+// scenarios planted per application; the heuristics and the lockset
+// check must prune all of them.
+const (
+	guardedPerApp = 3
+	lockedPerApp  = 2
+)

@@ -1,0 +1,689 @@
+// Package apps models the ten open-source Android applications of the
+// paper's evaluation (§6.1). The original APKs and the hand-driven
+// 10–30-second interaction sessions cannot be re-run offline, so each
+// app is a scripted workload over the simulated runtime that plants
+// the same per-category race population Table 1 reports for it — with
+// machine-checkable ground truth — plus enough benign commutative
+// event traffic (the Figure 2 pattern) to reach the paper's event
+// volumes and low-level-race counts.
+//
+// Six scenario generators cover the taxonomy:
+//
+//	TrueA  — use-after-free between two events of one looper (col. a);
+//	         the first instance per app uses the Figure 1 RPC shape.
+//	TrueB  — use in an event vs. free in a thread forked by a later
+//	         event; a conventional detector orders them (col. b).
+//	TrueC  — plain cross-thread use/free both models catch (col. c).
+//	FP1    — real ordering through an uninstrumented listener the
+//	         tracer cannot see (Type I false positive).
+//	FP2    — commutative events guarded by a boolean flag the
+//	         if-guard heuristic cannot recognize (Type II).
+//	FP3    — aliased pointer reads that make the deref-matching
+//	         heuristic blame the wrong location (Type III).
+package apps
+
+import (
+	"fmt"
+
+	"cafa/internal/dvm"
+	"cafa/internal/sim"
+)
+
+// Label is the ground-truth category of a planted scenario, matching
+// Table 1's columns.
+type Label uint8
+
+// Ground-truth labels.
+const (
+	LabelTrueA    Label = iota // harmful, intra-thread (a)
+	LabelTrueB                 // harmful, inter-thread, conventional misses (b)
+	LabelTrueC                 // harmful, conventional also finds (c)
+	LabelFP1                   // false race: missing listener instrumentation
+	LabelFP2                   // benign race: commutativity heuristics too weak
+	LabelFP3                   // false race: deref matched to wrong pointer read
+	LabelFiltered              // benign and correctly pruned by the heuristics: must NOT be reported
+)
+
+func (l Label) String() string {
+	switch l {
+	case LabelTrueA:
+		return "true(a)"
+	case LabelTrueB:
+		return "true(b)"
+	case LabelTrueC:
+		return "true(c)"
+	case LabelFP1:
+		return "fp(I)"
+	case LabelFP2:
+		return "fp(II)"
+	case LabelFP3:
+		return "fp(III)"
+	case LabelFiltered:
+		return "benign(filtered)"
+	default:
+		return fmt.Sprintf("Label(%d)", uint8(l))
+	}
+}
+
+// Harmful reports whether the label is a true race.
+func (l Label) Harmful() bool { return l <= LabelTrueC }
+
+// Planted is one ground-truth entry: the racy field the detector
+// should (or should not) blame, and the handler containing the use
+// (for replay validation).
+type Planted struct {
+	Field     string
+	Label     Label
+	UseMethod string
+	// Events is how many looper events the scenario contributes.
+	Events int
+}
+
+// scenario couples generated assembly with its runtime wiring.
+type scenario struct {
+	src     string
+	planted Planted
+	wire    func(s *sim.System, p *dvm.Program) error
+}
+
+// startThread is a small helper that propagates wiring errors.
+func startThread(s *sim.System, name, method string, arg dvm.Value) error {
+	_, err := s.StartThread(name, method, arg)
+	return err
+}
+
+// newHolder allocates a holder object with field set to a fresh
+// payload.
+func newHolder(s *sim.System, p *dvm.Program, class, field string) *dvm.Object {
+	h := s.Heap().New(class)
+	pay := s.Heap().New("Payload")
+	h.Set(p.FieldID(field), dvm.Obj(pay.ID))
+	return h
+}
+
+// truePlain is the generic class-(a) scenario: two concurrent events
+// of the main looper, use vs. free, no guard and no allocation. With
+// tryCatch the use is wrapped in a catch-all handler — the ToDoList
+// pattern of §6.2 where the crash is masked but the data is lost.
+func truePlain(id string, tryCatch bool) scenario {
+	ptr := "ptr_" + id
+	use := "use_" + id
+	var useBody string
+	if tryCatch {
+		useBody = fmt.Sprintf(`
+.method %s(h) regs=3
+    try swallow
+    iget v1, h, %s
+    invoke-virtual run, v1
+    end-try
+swallow:
+    return-void
+.end`, use, ptr)
+	} else {
+		useBody = fmt.Sprintf(`
+.method %s(h) regs=3
+    iget v1, h, %s
+    invoke-virtual run, v1
+    return-void
+.end`, use, ptr)
+	}
+	src := useBody + fmt.Sprintf(`
+.method free_%[1]s(h) regs=2
+    const-null v1
+    iput v1, h, ptr_%[1]s
+    return-void
+.end
+
+.method sendUse_%[1]s(h) regs=5
+    sget-int v1, mainQ
+    const-method v2, use_%[1]s
+    const-int v3, #0
+    send v1, v2, v3, h
+    return-void
+.end
+
+.method sendFree_%[1]s(h) regs=5
+    const-int v3, #20
+    sleep v3
+    sget-int v1, mainQ
+    const-method v2, free_%[1]s
+    const-int v3, #0
+    send v1, v2, v3, h
+    return-void
+.end`, id)
+	return scenario{
+		src:     src,
+		planted: Planted{Field: ptr, Label: LabelTrueA, UseMethod: use, Events: 2},
+		wire: func(s *sim.System, p *dvm.Program) error {
+			h := newHolder(s, p, "Activity", ptr)
+			if err := startThread(s, "su_"+id, "sendUse_"+id, dvm.Obj(h.ID)); err != nil {
+				return err
+			}
+			return startThread(s, "sf_"+id, "sendFree_"+id, dvm.Obj(h.ID))
+		},
+	}
+}
+
+// trueRPC is the Figure 1 MyTracks shape: an external onResume event
+// binds to a remote service over Binder RPC; the service posts
+// onServiceConnected back to the main looper, whose use of
+// providerUtils races with the external onDestroy's free.
+func trueRPC(id string) scenario {
+	ptr := "ptr_" + id
+	use := "onConn_" + id
+	src := fmt.Sprintf(`
+.method onConn_%[1]s(h) regs=3
+    iget v1, h, ptr_%[1]s
+    invoke-virtual run, v1
+    return-void
+.end
+
+.method onBind_%[1]s(h) regs=5
+    sget-int v1, mainQ
+    const-method v2, onConn_%[1]s
+    const-int v3, #0
+    send v1, v2, v3, h
+    const-int v4, #0
+    return v4
+.end
+
+.method onResume_%[1]s(h) regs=5
+    new v1, ProviderUtils
+    iput v1, h, ptr_%[1]s
+    sget-int v2, svcH
+    const-method v3, onBind_%[1]s
+    rpc v2, v3, h -> v4
+    return-void
+.end
+
+.method onDestroy_%[1]s(h) regs=2
+    const-null v1
+    iput v1, h, ptr_%[1]s
+    return-void
+.end`, id)
+	return scenario{
+		src:     src,
+		planted: Planted{Field: ptr, Label: LabelTrueA, UseMethod: use, Events: 3},
+		wire: func(s *sim.System, p *dvm.Program) error {
+			h := s.Heap().New("Activity")
+			if err := s.Inject(0, mainLooper(s), "onResume_"+id, dvm.Obj(h.ID), 0); err != nil {
+				return err
+			}
+			return s.Inject(100, mainLooper(s), "onDestroy_"+id, dvm.Obj(h.ID), 0)
+		},
+	}
+}
+
+// trueFork is the class-(b) scenario: the free runs on a thread forked
+// (and joined) by an event that executes after the using event, so
+// the conventional total event order hides the race.
+func trueFork(id string) scenario {
+	ptr := "ptr_" + id
+	use := "use_" + id
+	src := fmt.Sprintf(`
+.method use_%[1]s(h) regs=3
+    iget v1, h, ptr_%[1]s
+    invoke-virtual run, v1
+    return-void
+.end
+
+.method freeBody_%[1]s(h) regs=2
+    const-null v1
+    iput v1, h, ptr_%[1]s
+    return-void
+.end
+
+.method spawn_%[1]s(h) regs=4
+    const-method v1, freeBody_%[1]s
+    fork v1, h -> v2
+    join v2
+    return-void
+.end
+
+.method sendUse_%[1]s(h) regs=5
+    sget-int v1, mainQ
+    const-method v2, use_%[1]s
+    const-int v3, #0
+    send v1, v2, v3, h
+    return-void
+.end
+
+.method sendSpawn_%[1]s(h) regs=5
+    const-int v3, #20
+    sleep v3
+    sget-int v1, mainQ
+    const-method v2, spawn_%[1]s
+    const-int v3, #0
+    send v1, v2, v3, h
+    return-void
+.end`, id)
+	return scenario{
+		src:     src,
+		planted: Planted{Field: ptr, Label: LabelTrueB, UseMethod: use, Events: 2},
+		wire: func(s *sim.System, p *dvm.Program) error {
+			h := newHolder(s, p, "Activity", ptr)
+			if err := startThread(s, "su_"+id, "sendUse_"+id, dvm.Obj(h.ID)); err != nil {
+				return err
+			}
+			return startThread(s, "ss_"+id, "sendSpawn_"+id, dvm.Obj(h.ID))
+		},
+	}
+}
+
+// trueThreads is the class-(c) scenario: two unsynchronized regular
+// threads; any happens-before detector finds it.
+func trueThreads(id string) scenario {
+	ptr := "ptr_" + id
+	use := "user_" + id
+	src := fmt.Sprintf(`
+.method user_%[1]s(h) regs=3
+    iget v1, h, ptr_%[1]s
+    invoke-virtual run, v1
+    return-void
+.end
+
+.method freer_%[1]s(h) regs=3
+    const-int v1, #20
+    sleep v1
+    const-null v2
+    iput v2, h, ptr_%[1]s
+    return-void
+.end`, id)
+	return scenario{
+		src:     src,
+		planted: Planted{Field: ptr, Label: LabelTrueC, UseMethod: use, Events: 0},
+		wire: func(s *sim.System, p *dvm.Program) error {
+			h := newHolder(s, p, "Worker", ptr)
+			if err := startThread(s, "u_"+id, "user_"+id, dvm.Obj(h.ID)); err != nil {
+				return err
+			}
+			return startThread(s, "f_"+id, "freer_"+id, dvm.Obj(h.ID))
+		},
+	}
+}
+
+// fpListener is the Type I scenario: the use event registers a
+// callback with a listener living in an uninstrumented framework
+// package; a later event fires it, running the free. Really ordered
+// (register ≺ perform), but the tracer never sees the edge.
+func fpListener(id string, lid int64) scenario {
+	ptr := "ptr_" + id
+	use := "useReg_" + id
+	src := fmt.Sprintf(`
+.method cb_%[1]s(h) regs=2
+    const-null v1
+    iput v1, h, ptr_%[1]s
+    return-void
+.end
+
+.method useReg_%[1]s(h) regs=5
+    iget v1, h, ptr_%[1]s
+    invoke-virtual run, v1
+    const-int v2, #%[2]d
+    const-method v3, cb_%[1]s
+    register v2, v3
+    return-void
+.end
+
+.method fire_%[1]s(h) regs=4
+    const-int v1, #%[2]d
+    fire v1, h
+    return-void
+.end
+
+.method sendUseReg_%[1]s(h) regs=5
+    sget-int v1, mainQ
+    const-method v2, useReg_%[1]s
+    const-int v3, #0
+    send v1, v2, v3, h
+    return-void
+.end
+
+.method sendFire_%[1]s(h) regs=5
+    const-int v3, #30
+    sleep v3
+    sget-int v1, mainQ
+    const-method v2, fire_%[1]s
+    const-int v3, #0
+    send v1, v2, v3, h
+    return-void
+.end`, id, lid)
+	return scenario{
+		src:     src,
+		planted: Planted{Field: ptr, Label: LabelFP1, UseMethod: use, Events: 2},
+		wire: func(s *sim.System, p *dvm.Program) error {
+			h := newHolder(s, p, "View", ptr)
+			if err := startThread(s, "sr_"+id, "sendUseReg_"+id, dvm.Obj(h.ID)); err != nil {
+				return err
+			}
+			return startThread(s, "sp_"+id, "sendFire_"+id, dvm.Obj(h.ID))
+		},
+	}
+}
+
+// fpFlag is the Type II scenario: the free event clears a boolean
+// flag that guards the use, so the events are commutative — but the
+// if-guard heuristic only understands pointer null tests (§6.3).
+func fpFlag(id string) scenario {
+	ptr := "ptr_" + id
+	use := "use_" + id
+	src := fmt.Sprintf(`
+.method use_%[1]s(h) regs=5
+    iget-int v1, h, flag_%[1]s
+    const-int v2, #0
+    if-int-eq v1, v2, skip
+    iget v3, h, ptr_%[1]s
+    invoke-virtual run, v3
+skip:
+    return-void
+.end
+
+.method free_%[1]s(h) regs=3
+    const-int v1, #0
+    iput-int v1, h, flag_%[1]s
+    const-null v2
+    iput v2, h, ptr_%[1]s
+    return-void
+.end
+
+.method sendUse_%[1]s(h) regs=5
+    sget-int v1, mainQ
+    const-method v2, use_%[1]s
+    const-int v3, #0
+    send v1, v2, v3, h
+    return-void
+.end
+
+.method sendFree_%[1]s(h) regs=5
+    const-int v3, #20
+    sleep v3
+    sget-int v1, mainQ
+    const-method v2, free_%[1]s
+    const-int v3, #0
+    send v1, v2, v3, h
+    return-void
+.end`, id)
+	return scenario{
+		src:     src,
+		planted: Planted{Field: ptr, Label: LabelFP2, UseMethod: use, Events: 2},
+		wire: func(s *sim.System, p *dvm.Program) error {
+			h := newHolder(s, p, "Player", ptr)
+			h.Set(p.FieldID("flag_"+id), dvm.Int64(1))
+			if err := startThread(s, "su_"+id, "sendUse_"+id, dvm.Obj(h.ID)); err != nil {
+				return err
+			}
+			return startThread(s, "sf_"+id, "sendFree_"+id, dvm.Obj(h.ID))
+		},
+	}
+}
+
+// fpAlias is the Type III scenario: two pointer fields alias one
+// object; the dereference goes through the first but the matching
+// heuristic blames the second (most recent) read, whose field is the
+// one being freed.
+func fpAlias(id string) scenario {
+	ptrB := "ptrB_" + id
+	use := "use_" + id
+	src := fmt.Sprintf(`
+.method use_%[1]s(h) regs=4
+    iget v1, h, ptrA_%[1]s
+    iget v2, h, ptrB_%[1]s
+    invoke-virtual run, v1
+    return-void
+.end
+
+.method free_%[1]s(h) regs=2
+    const-null v1
+    iput v1, h, ptrB_%[1]s
+    return-void
+.end
+
+.method sendUse_%[1]s(h) regs=5
+    sget-int v1, mainQ
+    const-method v2, use_%[1]s
+    const-int v3, #0
+    send v1, v2, v3, h
+    return-void
+.end
+
+.method sendFree_%[1]s(h) regs=5
+    const-int v3, #20
+    sleep v3
+    sget-int v1, mainQ
+    const-method v2, free_%[1]s
+    const-int v3, #0
+    send v1, v2, v3, h
+    return-void
+.end`, id)
+	return scenario{
+		src:     src,
+		planted: Planted{Field: ptrB, Label: LabelFP3, UseMethod: use, Events: 2},
+		wire: func(s *sim.System, p *dvm.Program) error {
+			h := s.Heap().New("Decoder")
+			pay := s.Heap().New("Payload")
+			h.Set(p.FieldID("ptrA_"+id), dvm.Obj(pay.ID))
+			h.Set(p.FieldID("ptrB_"+id), dvm.Obj(pay.ID))
+			if err := startThread(s, "su_"+id, "sendUse_"+id, dvm.Obj(h.ID)); err != nil {
+				return err
+			}
+			return startThread(s, "sf_"+id, "sendFree_"+id, dvm.Obj(h.ID))
+		},
+	}
+}
+
+// guardedBenign is the Figure 5 pattern the heuristics exist for:
+// onPause frees handler; onFocus uses it behind a null check (pruned
+// by if-guard); onResume re-allocates before using (pruned by
+// intra-event-allocation). The detector must report nothing here —
+// these scenarios are what Table 1's counts have already been
+// filtered of.
+func guardedBenign(id string) scenario {
+	ptr := "ptr_" + id
+	src := fmt.Sprintf(`
+.method onPause_%[1]s(act) regs=2
+    const-null v1
+    iput v1, act, ptr_%[1]s
+    return-void
+.end
+
+.method onFocus_%[1]s(act) regs=3
+    iget v1, act, ptr_%[1]s
+    if-eqz v1, skip
+    invoke-virtual run, v1
+skip:
+    return-void
+.end
+
+.method onResume_%[1]s(act) regs=3
+    new v1, Handler
+    iput v1, act, ptr_%[1]s
+    iget v2, act, ptr_%[1]s
+    invoke-virtual run, v2
+    return-void
+.end
+
+.method sendBenign_%[1]s(act) regs=5
+    sget-int v1, mainQ
+    const-int v3, #0
+    const-method v2, onFocus_%[1]s
+    send v1, v2, v3, act
+    const-method v2, onResume_%[1]s
+    send v1, v2, v3, act
+    return-void
+.end
+
+.method sendPause_%[1]s(act) regs=5
+    const-int v3, #20
+    sleep v3
+    sget-int v1, mainQ
+    const-method v2, onPause_%[1]s
+    const-int v3, #0
+    send v1, v2, v3, act
+    return-void
+.end`, id)
+	return scenario{
+		src:     src,
+		planted: Planted{Field: ptr, Label: LabelFiltered, UseMethod: "onFocus_" + id, Events: 3},
+		wire: func(s *sim.System, p *dvm.Program) error {
+			h := newHolder(s, p, "Activity", ptr)
+			if err := startThread(s, "sb_"+id, "sendBenign_"+id, dvm.Obj(h.ID)); err != nil {
+				return err
+			}
+			return startThread(s, "sp_"+id, "sendPause_"+id, dvm.Obj(h.ID))
+		},
+	}
+}
+
+// lockedBenign plants a use and a free in two threads, both inside
+// critical sections on the same lock. The model derives no
+// happens-before from the lock (§3.1), but the lockset
+// mutual-exclusion check must prune the pair (§3.2).
+func lockedBenign(id string) scenario {
+	ptr := "ptr_" + id
+	src := fmt.Sprintf(`
+.method lockedUse_%[1]s(h) regs=4
+    iget v3, h, lk_%[1]s
+    lock v3
+    iget v1, h, ptr_%[1]s
+    if-eqz v1, lskip
+    invoke-virtual run, v1
+lskip:
+    unlock v3
+    return-void
+.end
+
+.method lockedFree_%[1]s(h) regs=4
+    const-int v1, #20
+    sleep v1
+    iget v3, h, lk_%[1]s
+    lock v3
+    const-null v2
+    iput v2, h, ptr_%[1]s
+    unlock v3
+    return-void
+.end`, id)
+	return scenario{
+		src:     src,
+		planted: Planted{Field: ptr, Label: LabelFiltered, UseMethod: "lockedUse_" + id, Events: 0},
+		wire: func(s *sim.System, p *dvm.Program) error {
+			h := newHolder(s, p, "Store", ptr)
+			lk := s.Heap().New("Lock")
+			h.Set(p.FieldID("lk_"+id), dvm.Obj(lk.ID))
+			if err := startThread(s, "lu_"+id, "lockedUse_"+id, dvm.Obj(h.ID)); err != nil {
+				return err
+			}
+			return startThread(s, "lf_"+id, "lockedFree_"+id, dvm.Obj(h.ID))
+		},
+	}
+}
+
+// prelude generates the per-app shared methods: the virtual-call
+// sink, the benign commutative filler events (the Figure 2 pattern),
+// the thread-only conflict filler, and a no-op external event handler.
+//
+// fieldWork and arithWork set each filler event's body: iterations of
+// a field-update loop (every iteration is traced — a pointer-dense
+// widget app) versus iterations of pure register arithmetic (invisible
+// to the tracer — a compute/native-heavy app). Their ratio determines
+// where the app lands in the 2×–6× Fig. 8 slowdown band.
+func prelude(fieldWork, arithWork int) string {
+	if fieldWork < 1 {
+		fieldWork = 1
+	}
+	if arithWork < 1 {
+		arithWork = 1
+	}
+	return fmt.Sprintf(sharedPreludeTmpl, fieldWork, arithWork)
+}
+
+const sharedPreludeTmpl = `
+.method run(this) regs=1
+    return-void
+.end
+
+.method fillW(h) regs=7
+    const-int v1, #0
+    iput-int v1, h, fflag
+    const-int v2, #%[1]d   ; traced field-update work
+    const-int v3, #1
+    const-int v4, #0
+wloop:
+    iget-int v5, h, fwork
+    add-int v5, v5, v3
+    iput-int v5, h, fwork
+    sub-int v2, v2, v3
+    if-int-gt v2, v4, wloop
+    const-int v2, #%[2]d   ; untraced compute work
+    const-int v5, #7
+aloop:
+    add-int v5, v5, v3
+    mul-int v5, v5, v3
+    sub-int v2, v2, v3
+    if-int-gt v2, v4, aloop
+    return-void
+.end
+
+.method fillR(h) regs=7
+    iget-int v1, h, fflag
+    const-int v2, #0
+    if-int-eq v1, v2, skip
+    const-int v3, #%[1]d   ; traced layout recomputation
+    const-int v4, #1
+rloop:
+    iget-int v5, h, fcols
+    add-int v5, v5, v4
+    iput-int v5, h, fcols
+    sub-int v3, v3, v4
+    if-int-gt v3, v2, rloop
+    const-int v3, #%[2]d   ; untraced compute work
+    const-int v5, #7
+bloop:
+    add-int v5, v5, v4
+    mul-int v5, v5, v4
+    sub-int v3, v3, v4
+    if-int-gt v3, v2, bloop
+skip:
+    return-void
+.end
+
+; Filler senders read their destination queue from the holder, so the
+; same pair can target the main looper or a background HandlerThread.
+.method fillSendW(h) regs=5
+    iget-int v1, h, fq
+    const-method v2, fillW
+    const-int v3, #0
+    send v1, v2, v3, h
+    return-void
+.end
+
+.method fillSendR(h) regs=5
+    iget-int v1, h, fq
+    const-method v2, fillR
+    const-int v3, #0
+    send v1, v2, v3, h
+    return-void
+.end
+
+.method nfW(h) regs=2
+    const-int v1, #0
+    iput-int v1, h, nflag
+    return-void
+.end
+
+.method nfR(h) regs=2
+    iget-int v1, h, nflag
+    return-void
+.end
+
+.method fillOne(h) regs=2
+    const-int v1, #1
+    sput-int v1, fillOneRan
+    return-void
+.end
+`
+
+// mainLooper returns the looper registered as "main" by Build. Build
+// always creates it first.
+func mainLooper(s *sim.System) *sim.Looper {
+	return s.LooperAt(0)
+}

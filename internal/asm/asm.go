@@ -1,0 +1,251 @@
+// Package asm assembles a textual, Dalvik-smali-like assembly syntax
+// into dvm programs. Application models (internal/apps) and tests are
+// written in this syntax.
+//
+// Syntax overview:
+//
+//	; line comment
+//	.method onFocus(this) regs=4
+//	    iget v1, this, handler      ; params are register aliases (this = v0)
+//	    if-eqz v1, skip
+//	    invoke-virtual run, v1
+//	skip:
+//	    return-void
+//	.end
+//
+// Registers are written vN or by parameter name. Integer immediates
+// are written #N. Field, method, and label operands are bare
+// identifiers. Instructions with results use "-> vN".
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cafa/internal/dvm"
+)
+
+// Assemble compiles source into a fresh program.
+func Assemble(src string) (*dvm.Program, error) {
+	p := dvm.NewProgram()
+	if err := AssembleInto(p, src); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble for static program text; it panics on
+// error.
+func MustAssemble(src string) *dvm.Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// AssembleInto compiles source into an existing program, so apps can
+// mix generated and handwritten methods. Methods in src may call
+// methods already present in p and vice versa only if assembled in
+// one AssembleInto call or declared earlier.
+func AssembleInto(p *dvm.Program, src string) error {
+	lines := strings.Split(src, "\n")
+
+	// Pass 1: collect method headers so invokes can reference methods
+	// defined later in the same source.
+	type rawMethod struct {
+		header string
+		hline  int
+		body   []string
+		blines []int
+	}
+	var methods []*rawMethod
+	var cur *rawMethod
+	for i, raw := range lines {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, ".method"):
+			if cur != nil {
+				return errAt(i+1, "nested .method")
+			}
+			cur = &rawMethod{header: line, hline: i + 1}
+		case line == ".end":
+			if cur == nil {
+				return errAt(i+1, ".end without .method")
+			}
+			methods = append(methods, cur)
+			cur = nil
+		default:
+			if cur == nil {
+				return errAt(i+1, "instruction outside .method: %q", line)
+			}
+			cur.body = append(cur.body, line)
+			cur.blines = append(cur.blines, i+1)
+		}
+	}
+	if cur != nil {
+		return errAt(cur.hline, ".method %s missing .end", cur.header)
+	}
+
+	type parsedHeader struct {
+		name   string
+		params []string
+		regs   int
+	}
+	headers := make([]parsedHeader, len(methods))
+	compiled := make([]*dvm.Method, len(methods))
+	for i, rm := range methods {
+		h, err := parseHeader(rm.header)
+		if err != nil {
+			return errAt(rm.hline, "%v", err)
+		}
+		headers[i] = h
+		m := &dvm.Method{Name: h.name, NumParams: len(h.params), NumRegs: h.regs}
+		if _, err := p.AddMethod(m); err != nil {
+			return errAt(rm.hline, "%v", err)
+		}
+		compiled[i] = m
+	}
+
+	// Pass 2: assemble bodies.
+	for i, rm := range methods {
+		a := &assembler{p: p, m: compiled[i], params: headers[i].params}
+		if err := a.assemble(rm.body, rm.blines); err != nil {
+			return err
+		}
+	}
+	return p.Validate()
+}
+
+func stripComment(line string) string {
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		line = line[:i]
+	}
+	return strings.TrimSpace(line)
+}
+
+func errAt(line int, format string, args ...any) error {
+	return fmt.Errorf("asm: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func parseHeader(line string) (h struct {
+	name   string
+	params []string
+	regs   int
+}, err error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, ".method"))
+	open := strings.IndexByte(rest, '(')
+	close := strings.IndexByte(rest, ')')
+	if open < 0 || close < open {
+		return h, fmt.Errorf("bad .method header %q (want NAME(params) regs=N)", line)
+	}
+	h.name = strings.TrimSpace(rest[:open])
+	if h.name == "" {
+		return h, fmt.Errorf("missing method name in %q", line)
+	}
+	plist := strings.TrimSpace(rest[open+1 : close])
+	if plist != "" {
+		for _, s := range strings.Split(plist, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				return h, fmt.Errorf("empty parameter name in %q", line)
+			}
+			h.params = append(h.params, s)
+		}
+	}
+	tail := strings.TrimSpace(rest[close+1:])
+	if !strings.HasPrefix(tail, "regs=") {
+		return h, fmt.Errorf("missing regs=N in %q", line)
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(tail, "regs="))
+	if err != nil || n <= 0 || n > 256 {
+		return h, fmt.Errorf("bad register count in %q", line)
+	}
+	h.regs = n
+	if len(h.params) > n {
+		return h, fmt.Errorf("%d params exceed %d regs in %q", len(h.params), n, line)
+	}
+	return h, nil
+}
+
+type fixup struct {
+	pc    int
+	label string
+	line  int
+}
+
+type assembler struct {
+	p      *dvm.Program
+	m      *dvm.Method
+	params []string
+	labels map[string]int
+	fixups []fixup
+}
+
+func (a *assembler) assemble(body []string, lineNos []int) error {
+	a.labels = make(map[string]int)
+	for li, line := range body {
+		ln := lineNos[li]
+		// Peel leading labels ("name:" possibly followed by an instr).
+		for {
+			rest, label, ok := peelLabel(line)
+			if !ok {
+				break
+			}
+			if _, dup := a.labels[label]; dup {
+				return errAt(ln, "duplicate label %q", label)
+			}
+			a.labels[label] = len(a.m.Code)
+			line = rest
+		}
+		if line == "" {
+			continue
+		}
+		if err := a.instr(line, ln); err != nil {
+			return err
+		}
+	}
+	for _, fx := range a.fixups {
+		target, ok := a.labels[fx.label]
+		if !ok {
+			return errAt(fx.line, "undefined label %q", fx.label)
+		}
+		a.m.Code[fx.pc].Target = target
+	}
+	return nil
+}
+
+// peelLabel splits a leading "label:" off a line.
+func peelLabel(line string) (rest, label string, ok bool) {
+	i := strings.IndexByte(line, ':')
+	if i <= 0 {
+		return line, "", false
+	}
+	cand := strings.TrimSpace(line[:i])
+	if !isIdent(cand) {
+		return line, "", false
+	}
+	return strings.TrimSpace(line[i+1:]), cand, true
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '$', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,138 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cafa/internal/dvm"
+)
+
+func TestAssembleArrays(t *testing.T) {
+	p := MustAssemble(`
+.method main() regs=6
+    const-int v0, #4
+    new-array v1, v0
+    array-len v2, v1
+    sput-int v2, alen
+    const-int v3, #2
+    const-int v4, #99
+    aput-int v4, v1, v3
+    aget-int v5, v1, v3
+    sput-int v5, got
+    new v4, El
+    aput v4, v1, v3
+    aget v5, v1, v3
+    if-eq v4, v5, same
+    return-void
+same:
+    const-int v0, #1
+    sput-int v0, matched
+    return-void
+.end
+`)
+	c, _ := runMethod(t, p, "main")
+	if got := c.Heap.GetStatic(p.FieldID("alen"), dvm.KInt); got.Int != 4 {
+		t.Errorf("alen = %d, want 4", got.Int)
+	}
+	if got := c.Heap.GetStatic(p.FieldID("got"), dvm.KInt); got.Int != 99 {
+		t.Errorf("got = %d, want 99", got.Int)
+	}
+	if got := c.Heap.GetStatic(p.FieldID("matched"), dvm.KInt); got.Int != 1 {
+		t.Error("aget did not return the aput object")
+	}
+}
+
+func TestArrayMnemonicArity(t *testing.T) {
+	for _, src := range []string{
+		".method m() regs=2\n new-array v0\n.end\n",
+		".method m() regs=2\n aget v0, v1\n.end\n",
+		".method m() regs=2\n array-len v0\n.end\n",
+	} {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("bad arity accepted: %q", src)
+		}
+	}
+}
+
+// TestAssemblerNeverPanics fuzzes the assembler with random line
+// soups built from plausible tokens: it must always return (either a
+// program or an error), never panic.
+func TestAssemblerNeverPanics(t *testing.T) {
+	tokens := []string{
+		".method", ".end", "m()", "regs=2", "regs=x", "(a,b)",
+		"iget", "iput", "sget", "sput", "goto", "try", "end-try",
+		"if-eqz", "invoke-virtual", "invoke-static", "send", "fork",
+		"v0", "v1", "v99", "#5", "#", "label:", ":", "->", "x,", ",",
+		"field", "method", "nop", "return-void", "aget", "new-array",
+	}
+	r := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 500; iter++ {
+		var sb strings.Builder
+		lines := 1 + r.Intn(12)
+		for l := 0; l < lines; l++ {
+			words := 1 + r.Intn(5)
+			for w := 0; w < words; w++ {
+				sb.WriteString(tokens[r.Intn(len(tokens))])
+				sb.WriteString(" ")
+			}
+			sb.WriteString("\n")
+		}
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("iter %d: assembler panicked on %q: %v", iter, sb.String(), rec)
+				}
+			}()
+			_, _ = Assemble(sb.String())
+		}()
+	}
+}
+
+// TestMutatedValidSourceNeverPanics mutates a valid program by
+// deleting and duplicating random lines.
+func TestMutatedValidSourceNeverPanics(t *testing.T) {
+	base := `
+.method run(this) regs=1
+    return-void
+.end
+
+.method f(h) regs=4
+    iget v1, h, ptr
+    if-eqz v1, skip
+    invoke-virtual run, v1
+skip:
+    try handler
+    sput v1, out
+    end-try
+    return-void
+handler:
+    return-void
+.end
+`
+	lines := strings.Split(base, "\n")
+	r := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 300; iter++ {
+		mut := append([]string(nil), lines...)
+		switch r.Intn(3) {
+		case 0: // delete a line
+			i := r.Intn(len(mut))
+			mut = append(mut[:i], mut[i+1:]...)
+		case 1: // duplicate a line
+			i := r.Intn(len(mut))
+			mut = append(mut[:i+1], mut[i:]...)
+		case 2: // swap two lines
+			i, j := r.Intn(len(mut)), r.Intn(len(mut))
+			mut[i], mut[j] = mut[j], mut[i]
+		}
+		src := strings.Join(mut, "\n")
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("iter %d: panicked on mutated source: %v\n%s", iter, rec, src)
+				}
+			}()
+			_, _ = Assemble(src)
+		}()
+	}
+}

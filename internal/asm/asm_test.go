@@ -1,0 +1,325 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"cafa/internal/dvm"
+	"cafa/internal/trace"
+)
+
+type nullEnv struct{}
+
+func (nullEnv) Now() int64 { return 0 }
+func (nullEnv) Intrinsic(c *dvm.Context, in dvm.Intrinsic, args []dvm.Value) (dvm.Value, bool, error) {
+	return dvm.Int64(0), false, nil
+}
+
+func runMethod(t *testing.T, p *dvm.Program, name string, args ...dvm.Value) (*dvm.Context, *trace.Collector) {
+	t.Helper()
+	col := trace.NewCollector()
+	idx, ok := p.MethodIndex(name)
+	if !ok {
+		t.Fatalf("no method %q", name)
+	}
+	c, err := dvm.NewContext(p, dvm.NewHeap(), nullEnv{}, col, 1, p.Methods[idx], args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Run(0); st != dvm.Finished {
+		t.Fatalf("%s: state=%v err=%v", name, st, c.Err)
+	}
+	return c, col
+}
+
+func TestAssembleFigure5OnFocus(t *testing.T) {
+	// The onFocus handler from Figure 5 of the paper.
+	p := MustAssemble(`
+.method run(this) regs=1
+    return-void
+.end
+
+.method onFocus(this) regs=4
+    iget v1, this, handler
+    if-eqz v1, skip
+    invoke-virtual run, v1
+skip:
+    return-void
+.end
+`)
+	// Null handler: guard skips the call, no crash, no branch logged.
+	col := trace.NewCollector()
+	h := dvm.NewHeap()
+	act := h.New("Activity")
+	idx := p.MustMethod("onFocus")
+	c, err := dvm.NewContext(p, h, nullEnv{}, col, 1, p.Methods[idx], []dvm.Value{dvm.Obj(act.ID)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Run(0); st != dvm.Finished {
+		t.Fatalf("state=%v err=%v", st, c.Err)
+	}
+	for _, e := range col.T.Entries {
+		if e.Op == trace.OpBranch {
+			t.Error("taken if-eqz must not be logged")
+		}
+	}
+	// Non-null handler: call happens, branch logged.
+	handler := h.New("Handler")
+	act.Set(p.FieldID("handler"), dvm.Obj(handler.ID))
+	col2 := trace.NewCollector()
+	c2, err := dvm.NewContext(p, h, nullEnv{}, col2, 1, p.Methods[idx], []dvm.Value{dvm.Obj(act.ID)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Run(0); st != dvm.Finished {
+		t.Fatalf("state=%v err=%v", st, c2.Err)
+	}
+	var sawBranch, sawInvoke bool
+	for _, e := range col2.T.Entries {
+		if e.Op == trace.OpBranch && e.Branch == trace.BranchIfEqz && e.Value == handler.ID {
+			sawBranch = true
+		}
+		if e.Op == trace.OpInvoke {
+			sawInvoke = true
+		}
+	}
+	if !sawBranch || !sawInvoke {
+		t.Errorf("sawBranch=%v sawInvoke=%v", sawBranch, sawInvoke)
+	}
+}
+
+func TestParamAliases(t *testing.T) {
+	p := MustAssemble(`
+.method store(this, val) regs=3
+    iput val, this, x
+    return-void
+.end
+`)
+	h := dvm.NewHeap()
+	o := h.New("X")
+	pay := h.New("Y")
+	col := trace.NewCollector()
+	c, err := dvm.NewContext(p, h, nullEnv{}, col, 1, p.Methods[p.MustMethod("store")],
+		[]dvm.Value{dvm.Obj(o.ID), dvm.Obj(pay.ID)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Run(0); st != dvm.Finished {
+		t.Fatalf("state=%v err=%v", st, c.Err)
+	}
+	if v, ok := o.Get(p.FieldID("x")); !ok || v.Obj != pay.ID {
+		t.Error("param-aliased store failed")
+	}
+}
+
+func TestForwardMethodReference(t *testing.T) {
+	p := MustAssemble(`
+.method main() regs=2
+    invoke-static later -> v0
+    sput-int v0, out
+    return-void
+.end
+
+.method later() regs=1
+    const-int v0, #11
+    return v0
+.end
+`)
+	c, _ := runMethod(t, p, "main")
+	if got := c.Heap.GetStatic(p.FieldID("out"), dvm.KInt); got.Int != 11 {
+		t.Errorf("out = %d, want 11", got.Int)
+	}
+}
+
+func TestIntLoopAndArithmetic(t *testing.T) {
+	p := MustAssemble(`
+.method main() regs=5
+    const-int v0, #0    ; i
+    const-int v1, #0    ; sum
+    const-int v2, #10   ; limit
+    const-int v3, #1
+loop:
+    if-int-ge v0, v2, done
+    add-int v1, v1, v0
+    add-int v0, v0, v3
+    goto loop
+done:
+    sput-int v1, total
+    mul-int v4, v3, v2
+    sub-int v4, v4, v3
+    sput-int v4, nine
+    return-void
+.end
+`)
+	c, _ := runMethod(t, p, "main")
+	if got := c.Heap.GetStatic(p.FieldID("total"), dvm.KInt); got.Int != 45 {
+		t.Errorf("total = %d, want 45", got.Int)
+	}
+	if got := c.Heap.GetStatic(p.FieldID("nine"), dvm.KInt); got.Int != 9 {
+		t.Errorf("nine = %d, want 9", got.Int)
+	}
+}
+
+func TestTryCatch(t *testing.T) {
+	p := MustAssemble(`
+.method main() regs=2
+    try handler
+    throw-npe
+    end-try
+    return-void
+handler:
+    const-int v0, #1
+    sput-int v0, caught
+    return-void
+.end
+`)
+	c, _ := runMethod(t, p, "main")
+	if got := c.Heap.GetStatic(p.FieldID("caught"), dvm.KInt); got.Int != 1 {
+		t.Error("handler did not run")
+	}
+}
+
+func TestIntrinsicMnemonics(t *testing.T) {
+	// Every intrinsic mnemonic must assemble with its arity.
+	src := `
+.method target(arg) regs=1
+    return-void
+.end
+
+.method main() regs=6
+    const-int v0, #1
+    const-method v1, target
+    const-null v2
+    send v0, v1, v0, v2
+    send-front v0, v1, v2
+    fork v1, v2 -> v3
+    join v3
+    new v4, Lock
+    lock v4
+    unlock v4
+    wait v4
+    notify v4
+    register v0, v1
+    fire v0, v2
+    rpc v0, v1, v2 -> v5
+    msg-send v0, v2
+    msg-recv v0 -> v5
+    sleep v0
+    spin v0
+    self -> v5
+    return-void
+.end
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.Methods[p.MustMethod("main")]
+	var n int
+	for i := range m.Code {
+		if m.Code[i].Code == dvm.CIntrinsic {
+			n++
+		}
+	}
+	if n != 16 {
+		t.Errorf("assembled %d intrinsics, want 16", n)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no end", ".method m() regs=1\n return-void\n", "missing .end"},
+		{"orphan end", ".end\n", ".end without .method"},
+		{"nested method", ".method a() regs=1\n.method b() regs=1\n", "nested"},
+		{"instr outside", "nop\n", "outside .method"},
+		{"bad header", ".method broken regs=1\n.end\n", "bad .method header"},
+		{"missing regs", ".method m()\n.end\n", "missing regs"},
+		{"bad regcount", ".method m() regs=0\n.end\n", "bad register count"},
+		{"too many params", ".method m(a,b,c) regs=2\n.end\n", "exceed"},
+		{"dup method", ".method m() regs=1\n.end\n.method m() regs=1\n.end\n", "duplicate method"},
+		{"unknown mnemonic", ".method m() regs=1\n frobnicate v0\n.end\n", "unknown mnemonic"},
+		{"bad register", ".method m() regs=1\n const-null v9\n.end\n", "out of range"},
+		{"bad reg name", ".method m() regs=1\n const-null w0\n.end\n", "bad register"},
+		{"bad immediate", ".method m() regs=1\n const-int v0, 5\n.end\n", "bad immediate"},
+		{"unknown method ref", ".method m() regs=1\n invoke-static nope\n.end\n", "unknown method"},
+		{"undefined label", ".method m() regs=1\n goto nowhere\n.end\n", "undefined label"},
+		{"dup label", ".method m() regs=1\nx:\nx:\n return-void\n.end\n", "duplicate label"},
+		{"wrong arity", ".method m() regs=1\n move v0\n.end\n", "takes 2 operands"},
+		{"res on void", ".method m() regs=1\n join v0 -> v0\n.end\n", "does not produce a result"},
+		{"virtual no recv", ".method m() regs=1\n.end\n.method n() regs=1\n invoke-virtual m\n.end\n", "receiver"},
+		{"empty operand", ".method m() regs=1\n move v0,, v0\n.end\n", "empty operand"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble(tc.src)
+			if err == nil {
+				t.Fatal("assembled unexpectedly")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err %q missing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCommentsAndLabels(t *testing.T) {
+	p := MustAssemble(`
+; leading comment
+.method main() regs=2   ; trailing comment
+    const-int v0, #1    ; set
+start: add-int v0, v0, v0
+    if-int-lt v0, v0, start ; never taken
+    sput-int v0, out
+    return-void
+.end
+`)
+	c, _ := runMethod(t, p, "main")
+	if got := c.Heap.GetStatic(p.FieldID("out"), dvm.KInt); got.Int != 2 {
+		t.Errorf("out = %d, want 2", got.Int)
+	}
+}
+
+func TestAssembleIntoSharedProgram(t *testing.T) {
+	p := dvm.NewProgram()
+	if err := AssembleInto(p, ".method a() regs=1\n return-void\n.end\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := AssembleInto(p, ".method b() regs=1\n invoke-static a\n return-void\n.end\n"); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Methods) != 2 {
+		t.Errorf("methods = %d, want 2", len(p.Methods))
+	}
+	runMethod(t, p, "b")
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic on bad input")
+		}
+	}()
+	MustAssemble("garbage\n")
+}
+
+func TestRoundTripThroughDisasm(t *testing.T) {
+	p := MustAssemble(`
+.method f(this) regs=3
+    iget v1, this, ptr
+    if-nez v1, use
+    return-void
+use:
+    invoke-virtual f, v1
+    return-void
+.end
+`)
+	out := p.DisasmMethod(p.Methods[p.MustMethod("f")])
+	for _, want := range []string{"iget", "if-nez", "invoke-virtual"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disasm missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,496 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cafa/internal/dvm"
+)
+
+// intrinsicSpec describes an intrinsic mnemonic: its id, argument
+// count, and whether it may produce a result.
+type intrinsicSpec struct {
+	id     dvm.Intrinsic
+	arity  int
+	result bool
+}
+
+var intrinsics = map[string]intrinsicSpec{
+	"send":       {dvm.IntrSend, 4, false},
+	"send-front": {dvm.IntrSendFront, 3, false},
+	"fork":       {dvm.IntrFork, 2, true},
+	"join":       {dvm.IntrJoin, 1, false},
+	"lock":       {dvm.IntrLock, 1, false},
+	"unlock":     {dvm.IntrUnlock, 1, false},
+	"wait":       {dvm.IntrWait, 1, false},
+	"notify":     {dvm.IntrNotify, 1, false},
+	"register":   {dvm.IntrRegister, 2, false},
+	"fire":       {dvm.IntrFire, 2, false},
+	"rpc":        {dvm.IntrRPC, 3, true},
+	"msg-send":   {dvm.IntrMsgSend, 2, false},
+	"msg-recv":   {dvm.IntrMsgRecv, 1, true},
+	"sleep":      {dvm.IntrSleep, 1, false},
+	"spin":       {dvm.IntrSpin, 1, false},
+	"self":       {dvm.IntrSelf, 0, true},
+}
+
+// instr parses one instruction line and appends it to the method.
+func (a *assembler) instr(line string, ln int) error {
+	// Split off an optional "-> vN" result suffix.
+	var resTok string
+	if i := strings.Index(line, "->"); i >= 0 {
+		resTok = strings.TrimSpace(line[i+2:])
+		line = strings.TrimSpace(line[:i])
+	}
+	sp := strings.IndexAny(line, " \t")
+	mnem := line
+	var opsText string
+	if sp >= 0 {
+		mnem = line[:sp]
+		opsText = strings.TrimSpace(line[sp+1:])
+	}
+	var ops []string
+	if opsText != "" {
+		for _, o := range strings.Split(opsText, ",") {
+			o = strings.TrimSpace(o)
+			if o == "" {
+				return errAt(ln, "empty operand in %q", line)
+			}
+			ops = append(ops, o)
+		}
+	}
+
+	in := dvm.Instr{}
+	if resTok != "" {
+		r, err := a.reg(resTok)
+		if err != nil {
+			return errAt(ln, "%v", err)
+		}
+		in.Res = r
+		in.HasRes = true
+	}
+
+	need := func(n int) error {
+		if len(ops) != n {
+			return errAt(ln, "%s takes %d operands, got %d", mnem, n, len(ops))
+		}
+		return nil
+	}
+	regOp := func(i int) (dvm.Reg, error) {
+		r, err := a.reg(ops[i])
+		if err != nil {
+			return 0, errAt(ln, "%v", err)
+		}
+		return r, nil
+	}
+	noRes := func() error {
+		if in.HasRes {
+			return errAt(ln, "%s does not produce a result", mnem)
+		}
+		return nil
+	}
+
+	// Intrinsics first: uniform shape.
+	if spec, ok := intrinsics[mnem]; ok {
+		if err := need(spec.arity); err != nil {
+			return err
+		}
+		if !spec.result {
+			if err := noRes(); err != nil {
+				return err
+			}
+		}
+		in.Code = dvm.CIntrinsic
+		in.Intr = spec.id
+		for i := range ops {
+			r, err := regOp(i)
+			if err != nil {
+				return err
+			}
+			in.Args = append(in.Args, r)
+		}
+		a.m.Code = append(a.m.Code, in)
+		return nil
+	}
+
+	switch mnem {
+	case "nop":
+		if err := need(0); err != nil {
+			return err
+		}
+		in.Code = dvm.CNop
+
+	case "const-null":
+		if err := need(1); err != nil {
+			return err
+		}
+		in.Code = dvm.CConstNull
+		r, err := regOp(0)
+		if err != nil {
+			return err
+		}
+		in.A = r
+
+	case "const-int":
+		if err := need(2); err != nil {
+			return err
+		}
+		in.Code = dvm.CConstInt
+		r, err := regOp(0)
+		if err != nil {
+			return err
+		}
+		imm, err := a.imm(ops[1])
+		if err != nil {
+			return errAt(ln, "%v", err)
+		}
+		in.A, in.Imm = r, imm
+
+	case "const-method":
+		if err := need(2); err != nil {
+			return err
+		}
+		in.Code = dvm.CConstMethod
+		r, err := regOp(0)
+		if err != nil {
+			return err
+		}
+		mi, err := a.method(ops[1])
+		if err != nil {
+			return errAt(ln, "%v", err)
+		}
+		in.A, in.MethodIdx = r, mi
+
+	case "new":
+		if err := need(2); err != nil {
+			return err
+		}
+		in.Code = dvm.CNew
+		r, err := regOp(0)
+		if err != nil {
+			return err
+		}
+		in.A, in.Class = r, ops[1]
+
+	case "move":
+		if err := need(2); err != nil {
+			return err
+		}
+		in.Code = dvm.CMove
+		ra, err := regOp(0)
+		if err != nil {
+			return err
+		}
+		rb, err := regOp(1)
+		if err != nil {
+			return err
+		}
+		in.A, in.B = ra, rb
+
+	case "iget", "iget-int", "iput", "iput-int":
+		if err := need(3); err != nil {
+			return err
+		}
+		switch mnem {
+		case "iget":
+			in.Code = dvm.CIget
+		case "iget-int":
+			in.Code = dvm.CIgetInt
+		case "iput":
+			in.Code = dvm.CIput
+		case "iput-int":
+			in.Code = dvm.CIputInt
+		}
+		ra, err := regOp(0)
+		if err != nil {
+			return err
+		}
+		rb, err := regOp(1)
+		if err != nil {
+			return err
+		}
+		in.A, in.B = ra, rb
+		in.Field = a.p.FieldID(ops[2])
+
+	case "new-array":
+		if err := need(2); err != nil {
+			return err
+		}
+		in.Code = dvm.CNewArray
+		ra, err := regOp(0)
+		if err != nil {
+			return err
+		}
+		rb, err := regOp(1)
+		if err != nil {
+			return err
+		}
+		in.A, in.B = ra, rb
+
+	case "aget", "aget-int", "aput", "aput-int":
+		if err := need(3); err != nil {
+			return err
+		}
+		switch mnem {
+		case "aget":
+			in.Code = dvm.CAget
+		case "aget-int":
+			in.Code = dvm.CAgetInt
+		case "aput":
+			in.Code = dvm.CAput
+		case "aput-int":
+			in.Code = dvm.CAputInt
+		}
+		ra, err := regOp(0)
+		if err != nil {
+			return err
+		}
+		rb, err := regOp(1)
+		if err != nil {
+			return err
+		}
+		rc, err := regOp(2)
+		if err != nil {
+			return err
+		}
+		in.A, in.B, in.C = ra, rb, rc
+
+	case "array-len":
+		if err := need(2); err != nil {
+			return err
+		}
+		in.Code = dvm.CArrayLen
+		ra, err := regOp(0)
+		if err != nil {
+			return err
+		}
+		rb, err := regOp(1)
+		if err != nil {
+			return err
+		}
+		in.A, in.B = ra, rb
+
+	case "sget", "sget-int", "sput", "sput-int":
+		if err := need(2); err != nil {
+			return err
+		}
+		switch mnem {
+		case "sget":
+			in.Code = dvm.CSget
+		case "sget-int":
+			in.Code = dvm.CSgetInt
+		case "sput":
+			in.Code = dvm.CSput
+		case "sput-int":
+			in.Code = dvm.CSputInt
+		}
+		r, err := regOp(0)
+		if err != nil {
+			return err
+		}
+		in.A = r
+		in.Field = a.p.FieldID(ops[1])
+
+	case "if-eqz", "if-nez":
+		if err := need(2); err != nil {
+			return err
+		}
+		if mnem == "if-eqz" {
+			in.Code = dvm.CIfEqz
+		} else {
+			in.Code = dvm.CIfNez
+		}
+		r, err := regOp(0)
+		if err != nil {
+			return err
+		}
+		in.A = r
+		a.fixups = append(a.fixups, fixup{pc: len(a.m.Code), label: ops[1], line: ln})
+
+	case "if-eq", "if-int-eq", "if-int-ne", "if-int-lt", "if-int-le", "if-int-gt", "if-int-ge":
+		if err := need(3); err != nil {
+			return err
+		}
+		switch mnem {
+		case "if-eq":
+			in.Code = dvm.CIfEq
+		case "if-int-eq":
+			in.Code = dvm.CIfIntEq
+		case "if-int-ne":
+			in.Code = dvm.CIfIntNe
+		case "if-int-lt":
+			in.Code = dvm.CIfIntLt
+		case "if-int-le":
+			in.Code = dvm.CIfIntLe
+		case "if-int-gt":
+			in.Code = dvm.CIfIntGt
+		case "if-int-ge":
+			in.Code = dvm.CIfIntGe
+		}
+		ra, err := regOp(0)
+		if err != nil {
+			return err
+		}
+		rb, err := regOp(1)
+		if err != nil {
+			return err
+		}
+		in.A, in.B = ra, rb
+		a.fixups = append(a.fixups, fixup{pc: len(a.m.Code), label: ops[2], line: ln})
+
+	case "goto", "try":
+		if err := need(1); err != nil {
+			return err
+		}
+		if mnem == "goto" {
+			in.Code = dvm.CGoto
+		} else {
+			in.Code = dvm.CTry
+		}
+		a.fixups = append(a.fixups, fixup{pc: len(a.m.Code), label: ops[0], line: ln})
+
+	case "end-try":
+		if err := need(0); err != nil {
+			return err
+		}
+		in.Code = dvm.CEndTry
+
+	case "throw-npe":
+		if err := need(0); err != nil {
+			return err
+		}
+		in.Code = dvm.CThrow
+
+	case "add-int", "sub-int", "mul-int":
+		if err := need(3); err != nil {
+			return err
+		}
+		switch mnem {
+		case "add-int":
+			in.Code = dvm.CAdd
+		case "sub-int":
+			in.Code = dvm.CSub
+		case "mul-int":
+			in.Code = dvm.CMul
+		}
+		rr, err := regOp(0)
+		if err != nil {
+			return err
+		}
+		ra, err := regOp(1)
+		if err != nil {
+			return err
+		}
+		rb, err := regOp(2)
+		if err != nil {
+			return err
+		}
+		in.Res, in.A, in.B = rr, ra, rb
+		in.HasRes = true
+
+	case "invoke-virtual", "invoke-static":
+		if len(ops) < 1 {
+			return errAt(ln, "%s needs a method operand", mnem)
+		}
+		if mnem == "invoke-virtual" {
+			in.Code = dvm.CInvokeVirtual
+			if len(ops) < 2 {
+				return errAt(ln, "invoke-virtual needs a receiver register")
+			}
+		} else {
+			in.Code = dvm.CInvokeStatic
+		}
+		mi, err := a.method(ops[0])
+		if err != nil {
+			return errAt(ln, "%v", err)
+		}
+		in.MethodIdx = mi
+		for i := 1; i < len(ops); i++ {
+			r, err := regOp(i)
+			if err != nil {
+				return err
+			}
+			in.Args = append(in.Args, r)
+		}
+
+	case "invoke-value":
+		if len(ops) < 1 {
+			return errAt(ln, "invoke-value needs a handle register")
+		}
+		in.Code = dvm.CInvokeValue
+		r, err := regOp(0)
+		if err != nil {
+			return err
+		}
+		in.A = r
+		for i := 1; i < len(ops); i++ {
+			rr, err := regOp(i)
+			if err != nil {
+				return err
+			}
+			in.Args = append(in.Args, rr)
+		}
+
+	case "return-void":
+		if err := need(0); err != nil {
+			return err
+		}
+		in.Code = dvm.CReturnVoid
+
+	case "return":
+		if err := need(1); err != nil {
+			return err
+		}
+		in.Code = dvm.CReturn
+		r, err := regOp(0)
+		if err != nil {
+			return err
+		}
+		in.A = r
+
+	default:
+		return errAt(ln, "unknown mnemonic %q", mnem)
+	}
+
+	a.m.Code = append(a.m.Code, in)
+	return nil
+}
+
+// reg resolves a register operand: vN or a parameter name.
+func (a *assembler) reg(tok string) (dvm.Reg, error) {
+	for i, p := range a.params {
+		if tok == p {
+			return dvm.Reg(i), nil
+		}
+	}
+	if len(tok) >= 2 && tok[0] == 'v' {
+		n, err := strconv.Atoi(tok[1:])
+		if err == nil {
+			if n < 0 || n >= a.m.NumRegs {
+				return 0, fmt.Errorf("register %s out of range (regs=%d)", tok, a.m.NumRegs)
+			}
+			return dvm.Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", tok)
+}
+
+func (a *assembler) imm(tok string) (int64, error) {
+	if !strings.HasPrefix(tok, "#") {
+		return 0, fmt.Errorf("bad immediate %q (want #N)", tok)
+	}
+	n, err := strconv.ParseInt(tok[1:], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q: %v", tok, err)
+	}
+	return n, nil
+}
+
+func (a *assembler) method(tok string) (int, error) {
+	idx, ok := a.p.MethodIndex(tok)
+	if !ok {
+		return 0, fmt.Errorf("unknown method %q", tok)
+	}
+	return idx, nil
+}

@@ -1,0 +1,297 @@
+// Package dataflow implements the static analysis the paper proposes
+// as future work for its Type III false positives (§6.3): "performing
+// a static data flow analysis on the Dalvik bytecode of the
+// applications to accurately match the dereference instructions to
+// the corresponding pointer reads."
+//
+// For every instruction that dereferences an object register
+// (instance field access, array access, virtual invoke receiver), a
+// reaching-definitions analysis over the method's control-flow graph
+// resolves the register to the unique pointer-load instruction that
+// produced it — or reports that the object is freshly allocated
+// (never a use) or statically ambiguous (fall back to the dynamic
+// nearest-read heuristic).
+package dataflow
+
+import (
+	"sort"
+
+	"cafa/internal/dvm"
+	"cafa/internal/trace"
+)
+
+// Key identifies an instruction site in a program.
+type Key struct {
+	Method trace.MethodID
+	PC     trace.PC
+}
+
+// SourceKind classifies what a dereferenced register statically is.
+type SourceKind uint8
+
+// Source kinds.
+const (
+	// SrcUnknown: ambiguous or unanalyzable — use the dynamic
+	// heuristic.
+	SrcUnknown SourceKind = iota
+	// SrcLoad: the register uniquely comes from the pointer load at
+	// LoadPC in the same method.
+	SrcLoad
+	// SrcFresh: the register holds a freshly allocated object (new /
+	// new-array) or a null constant; its dereference can never read a
+	// freed pointer, so it is not a use.
+	SrcFresh
+)
+
+// Source is the resolution for one dereference site.
+type Source struct {
+	Kind   SourceKind
+	LoadPC trace.PC
+}
+
+// DerefSources analyzes every method of a program and returns the
+// resolution for each dereference site.
+func DerefSources(p *dvm.Program) map[Key]Source {
+	out := make(map[Key]Source)
+	for _, m := range p.Methods {
+		for pc, src := range analyzeMethod(m) {
+			out[Key{Method: m.ID, PC: pc}] = src
+		}
+	}
+	return out
+}
+
+// def sites: non-negative values are instruction indexes; parameters
+// use -(1+regIndex).
+type defSet map[int32]struct{}
+
+func (d defSet) clone() defSet {
+	c := make(defSet, len(d))
+	for k := range d {
+		c[k] = struct{}{}
+	}
+	return c
+}
+
+// state maps registers to their reaching definition sites.
+type state []defSet
+
+func (s state) clone() state {
+	c := make(state, len(s))
+	for i, d := range s {
+		if d != nil {
+			c[i] = d.clone()
+		}
+	}
+	return c
+}
+
+// merge unions o into s, reporting change.
+func (s state) merge(o state) bool {
+	changed := false
+	for i, d := range o {
+		if d == nil {
+			continue
+		}
+		if s[i] == nil {
+			s[i] = d.clone()
+			changed = true
+			continue
+		}
+		for k := range d {
+			if _, ok := s[i][k]; !ok {
+				s[i][k] = struct{}{}
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// definedReg returns the register an instruction writes, if any.
+func definedReg(in *dvm.Instr) (dvm.Reg, bool) {
+	if in.HasRes {
+		return in.Res, true
+	}
+	switch in.Code {
+	case dvm.CConstNull, dvm.CConstInt, dvm.CConstMethod, dvm.CNew, dvm.CMove,
+		dvm.CIget, dvm.CIgetInt, dvm.CSget, dvm.CSgetInt,
+		dvm.CNewArray, dvm.CAget, dvm.CAgetInt, dvm.CArrayLen:
+		return in.A, true
+	}
+	return 0, false
+}
+
+// derefReg returns the register an instruction dereferences, if any.
+func derefReg(in *dvm.Instr) (dvm.Reg, bool) {
+	switch in.Code {
+	case dvm.CIget, dvm.CIgetInt, dvm.CIput, dvm.CIputInt,
+		dvm.CAget, dvm.CAgetInt, dvm.CAput, dvm.CAputInt, dvm.CArrayLen:
+		return in.B, true
+	case dvm.CInvokeVirtual:
+		if len(in.Args) > 0 {
+			return in.Args[0], true
+		}
+	}
+	return 0, false
+}
+
+// successors returns the normal CFG successor pcs of an instruction.
+// Exceptional edges to try handlers are handled separately because
+// they carry the instruction's PRE-state (a faulting instruction
+// never defines its result).
+func successors(m *dvm.Method, pc int) []int {
+	in := &m.Code[pc]
+	var out []int
+	switch in.Code {
+	case dvm.CGoto:
+		out = append(out, in.Target)
+	case dvm.CReturnVoid, dvm.CReturn, dvm.CThrow:
+		// no normal successor
+	case dvm.CIfEqz, dvm.CIfNez, dvm.CIfEq,
+		dvm.CIfIntEq, dvm.CIfIntNe, dvm.CIfIntLt, dvm.CIfIntLe, dvm.CIfIntGt, dvm.CIfIntGe:
+		out = append(out, pc+1, in.Target)
+	default:
+		out = append(out, pc+1)
+	}
+	kept := out[:0]
+	for _, s := range out {
+		if s >= 0 && s < len(m.Code) {
+			kept = append(kept, s)
+		}
+	}
+	return kept
+}
+
+// tryHandlerEdges computes exceptional edges: every instruction
+// lexically inside a try/end-try pair may jump to the handler.
+func tryHandlerEdges(m *dvm.Method) map[int][]int {
+	edges := make(map[int][]int)
+	type openTry struct {
+		handler int
+	}
+	// Lexical scan with a stack; dynamic try scopes follow the
+	// lexical structure in well-formed code.
+	var stack []openTry
+	for pc := range m.Code {
+		in := &m.Code[pc]
+		switch in.Code {
+		case dvm.CTry:
+			stack = append(stack, openTry{handler: in.Target})
+		case dvm.CEndTry:
+			if len(stack) > 0 {
+				stack = stack[:len(stack)-1]
+			}
+		default:
+			for _, t := range stack {
+				edges[pc] = append(edges[pc], t.handler)
+			}
+		}
+	}
+	return edges
+}
+
+// analyzeMethod runs reaching definitions and resolves each deref
+// site.
+func analyzeMethod(m *dvm.Method) map[trace.PC]Source {
+	n := len(m.Code)
+	if n == 0 {
+		return nil
+	}
+	tryEdges := tryHandlerEdges(m)
+	// in-states per pc.
+	ins := make([]state, n)
+	entry := make(state, m.NumRegs)
+	for r := 0; r < m.NumParams; r++ {
+		entry[r] = defSet{int32(-(1 + r)): struct{}{}}
+	}
+	ins[0] = entry
+	work := []int{0}
+	inWork := make([]bool, n)
+	inWork[0] = true
+	propagate := func(s int, st state, work *[]int) {
+		if ins[s] == nil {
+			ins[s] = st.clone()
+			if !inWork[s] {
+				*work = append(*work, s)
+				inWork[s] = true
+			}
+		} else if ins[s].merge(st) {
+			if !inWork[s] {
+				*work = append(*work, s)
+				inWork[s] = true
+			}
+		}
+	}
+	for len(work) > 0 {
+		pc := work[0]
+		work = work[1:]
+		inWork[pc] = false
+		out := ins[pc].clone()
+		if r, ok := definedReg(&m.Code[pc]); ok {
+			out[r] = defSet{int32(pc): {}}
+		}
+		for _, s := range successors(m, pc) {
+			propagate(s, out, &work)
+		}
+		// Exceptional edges: the faulting instruction's definitions do
+		// not happen, so the handler sees the pre-state.
+		for _, h := range tryEdges[pc] {
+			propagate(h, ins[pc], &work)
+		}
+	}
+
+	res := make(map[trace.PC]Source)
+	for pc := range m.Code {
+		r, ok := derefReg(&m.Code[pc])
+		if !ok || ins[pc] == nil {
+			continue
+		}
+		res[trace.PC(pc)] = resolve(m, ins, int32(pc), r, 0)
+	}
+	return res
+}
+
+// resolve chases a register's unique definition through moves.
+func resolve(m *dvm.Method, ins []state, pc int32, r dvm.Reg, depth int) Source {
+	if depth > 8 || pc < 0 || int(pc) >= len(ins) || ins[pc] == nil {
+		return Source{Kind: SrcUnknown}
+	}
+	defs := ins[pc][r]
+	if len(defs) != 1 {
+		return Source{Kind: SrcUnknown}
+	}
+	var site int32
+	for k := range defs {
+		site = k
+	}
+	if site < 0 {
+		return Source{Kind: SrcUnknown} // parameter: origin outside the method
+	}
+	in := &m.Code[site]
+	switch in.Code {
+	case dvm.CIget, dvm.CSget, dvm.CAget:
+		return Source{Kind: SrcLoad, LoadPC: trace.PC(site)}
+	case dvm.CNew, dvm.CNewArray, dvm.CConstNull:
+		return Source{Kind: SrcFresh}
+	case dvm.CMove:
+		return resolve(m, ins, site, in.B, depth+1)
+	default:
+		return Source{Kind: SrcUnknown}
+	}
+}
+
+// Keys returns the analyzed sites sorted, for deterministic tests.
+func Keys(srcs map[Key]Source) []Key {
+	out := make([]Key, 0, len(srcs))
+	for k := range srcs {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Method != out[j].Method {
+			return out[i].Method < out[j].Method
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}

@@ -1,0 +1,196 @@
+package dataflow
+
+import (
+	"testing"
+
+	"cafa/internal/asm"
+	"cafa/internal/trace"
+)
+
+func sourcesFor(t *testing.T, src, method string) (map[Key]Source, trace.MethodID) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.Methods[p.MustMethod(method)]
+	return DerefSources(p), m.ID
+}
+
+func TestUniqueLoadResolves(t *testing.T) {
+	srcs, mid := sourcesFor(t, `
+.method run(this) regs=1
+    return-void
+.end
+
+.method f(h) regs=3
+    iget v1, h, ptr        ; pc 0: load
+    invoke-virtual run, v1 ; pc 1: deref of v1
+    return-void
+.end
+`, "f")
+	got, ok := srcs[Key{Method: mid, PC: 1}]
+	if !ok || got.Kind != SrcLoad || got.LoadPC != 0 {
+		t.Errorf("deref source = %+v, want load at pc 0", got)
+	}
+	// pc 0 itself dereferences h (a parameter): unknown origin.
+	if got := srcs[Key{Method: mid, PC: 0}]; got.Kind != SrcUnknown {
+		t.Errorf("param deref = %+v, want unknown", got)
+	}
+}
+
+func TestAliasedLoadsResolveExactly(t *testing.T) {
+	// The Type III pattern: two loads of the same object; the deref
+	// uses the FIRST, and the analysis must say so even though the
+	// second load is nearer dynamically.
+	srcs, mid := sourcesFor(t, `
+.method run(this) regs=1
+    return-void
+.end
+
+.method f(h) regs=4
+    iget v1, h, ptrA       ; pc 0
+    iget v2, h, ptrB       ; pc 1
+    invoke-virtual run, v1 ; pc 2: derefs the pc-0 load
+    return-void
+.end
+`, "f")
+	got := srcs[Key{Method: mid, PC: 2}]
+	if got.Kind != SrcLoad || got.LoadPC != 0 {
+		t.Errorf("aliased deref source = %+v, want load at pc 0", got)
+	}
+}
+
+func TestFreshObjectIsNotAUse(t *testing.T) {
+	srcs, mid := sourcesFor(t, `
+.method run(this) regs=1
+    return-void
+.end
+
+.method f(h) regs=3
+    new v1, Obj            ; pc 0
+    invoke-virtual run, v1 ; pc 1
+    return-void
+.end
+`, "f")
+	if got := srcs[Key{Method: mid, PC: 1}]; got.Kind != SrcFresh {
+		t.Errorf("fresh deref = %+v, want SrcFresh", got)
+	}
+}
+
+func TestMoveChainsResolve(t *testing.T) {
+	srcs, mid := sourcesFor(t, `
+.method run(this) regs=1
+    return-void
+.end
+
+.method f(h) regs=4
+    iget v1, h, ptr        ; pc 0
+    move v2, v1            ; pc 1
+    move v3, v2            ; pc 2
+    invoke-virtual run, v3 ; pc 3
+    return-void
+.end
+`, "f")
+	if got := srcs[Key{Method: mid, PC: 3}]; got.Kind != SrcLoad || got.LoadPC != 0 {
+		t.Errorf("move-chain deref = %+v, want load at pc 0", got)
+	}
+}
+
+func TestJoinOfTwoLoadsIsAmbiguous(t *testing.T) {
+	srcs, mid := sourcesFor(t, `
+.method run(this) regs=1
+    return-void
+.end
+
+.method f(h, c) regs=5
+    const-int v3, #0
+    if-int-eq c, v3, other
+    iget v2, h, ptrA       ; pc 2
+    goto use
+other:
+    iget v2, h, ptrB       ; pc 4
+use:
+    invoke-virtual run, v2 ; pc 5
+    return-void
+.end
+`, "f")
+	if got := srcs[Key{Method: mid, PC: 5}]; got.Kind != SrcUnknown {
+		t.Errorf("two-path deref = %+v, want unknown", got)
+	}
+}
+
+func TestLoopKeepsUniqueLoad(t *testing.T) {
+	srcs, mid := sourcesFor(t, `
+.method run(this) regs=1
+    return-void
+.end
+
+.method f(h) regs=5
+    const-int v2, #3
+    const-int v3, #1
+loop:
+    iget v1, h, ptr        ; pc 2
+    invoke-virtual run, v1 ; pc 3
+    sub-int v2, v2, v3
+    const-int v4, #0
+    if-int-gt v2, v4, loop
+    return-void
+.end
+`, "f")
+	if got := srcs[Key{Method: mid, PC: 3}]; got.Kind != SrcLoad || got.LoadPC != 2 {
+		t.Errorf("loop deref = %+v, want load at pc 2", got)
+	}
+}
+
+func TestTryHandlerEdgesMergeDefs(t *testing.T) {
+	// Inside the try the register may be either load when the handler
+	// runs; the deref in the handler must be ambiguous.
+	srcs, mid := sourcesFor(t, `
+.method run(this) regs=1
+    return-void
+.end
+
+.method f(h) regs=4
+    iget v1, h, ptrA       ; pc 0
+    try handler
+    iget v1, h, ptrB       ; pc 2 (may or may not execute before NPE)
+    invoke-virtual run, v1 ; pc 3
+    end-try
+    return-void
+handler:
+    invoke-virtual run, v1 ; pc 6
+    return-void
+.end
+`, "f")
+	if got := srcs[Key{Method: mid, PC: 6}]; got.Kind != SrcUnknown {
+		t.Errorf("handler deref = %+v, want unknown (two defs may reach)", got)
+	}
+	// The in-try deref after the load is unambiguous.
+	if got := srcs[Key{Method: mid, PC: 3}]; got.Kind != SrcLoad || got.LoadPC != 2 {
+		t.Errorf("in-try deref = %+v, want load at pc 2", got)
+	}
+}
+
+func TestKeysDeterministic(t *testing.T) {
+	srcs, _ := sourcesFor(t, `
+.method run(this) regs=1
+    return-void
+.end
+
+.method f(h) regs=3
+    iget v1, h, a
+    invoke-virtual run, v1
+    iget v2, h, b
+    invoke-virtual run, v2
+    return-void
+.end
+`, "f")
+	ks := Keys(srcs)
+	for i := 1; i < len(ks); i++ {
+		if ks[i].Method < ks[i-1].Method ||
+			(ks[i].Method == ks[i-1].Method && ks[i].PC <= ks[i-1].PC) {
+			t.Fatal("Keys not sorted")
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package detect
+
+import (
+	"strings"
+
+	"cafa/internal/trace"
+)
+
+// CallStack reconstructs the calling-context stack active at trace
+// index idx, from the invoke/return entries logged by the
+// instrumented interpreter (§5.3). The result lists the open method
+// invocations of idx's task, outermost first, ending with the method
+// containing the operation itself.
+func CallStack(tr *trace.Trace, idx int) []trace.MethodID {
+	if idx < 0 || idx >= len(tr.Entries) {
+		return nil
+	}
+	task := tr.Entries[idx].Task
+	var stack []trace.MethodID
+	for i := 0; i < idx; i++ {
+		e := &tr.Entries[i]
+		if e.Task != task {
+			continue
+		}
+		switch e.Op {
+		case trace.OpInvoke:
+			stack = append(stack, e.Method)
+		case trace.OpReturn:
+			if len(stack) > 0 {
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	// The innermost frame is the method of the queried entry; include
+	// it when the invoke log does not already name it (the entry task's
+	// root handler is invoked by the runtime, not by bytecode).
+	if m := tr.Entries[idx].Method; m != 0 {
+		if len(stack) == 0 || stack[len(stack)-1] != m {
+			stack = append(stack, m)
+		}
+	}
+	return stack
+}
+
+// FormatStack renders a call stack as "outer > inner".
+func FormatStack(tr *trace.Trace, stack []trace.MethodID) string {
+	if len(stack) == 0 {
+		return "(no context)"
+	}
+	parts := make([]string, len(stack))
+	for i, m := range stack {
+		parts[i] = tr.MethodName(m)
+	}
+	return strings.Join(parts, " > ")
+}
+
+// DescribeWithContext renders a race with the calling contexts of
+// both racy operations.
+func (r Race) DescribeWithContext(tr *trace.Trace) string {
+	return r.Describe(tr) +
+		"\n    use context:  " + FormatStack(tr, CallStack(tr, r.Use.DerefIdx)) +
+		"\n    free context: " + FormatStack(tr, CallStack(tr, r.Free.Idx))
+}

@@ -1,0 +1,81 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+
+	"cafa/internal/asm"
+	"cafa/internal/dvm"
+	"cafa/internal/sim"
+	"cafa/internal/trace"
+)
+
+func TestCallStackReconstruction(t *testing.T) {
+	src := `
+.method leaf(h) regs=3
+    iget v1, h, ptr
+    sput v1, out
+    return-void
+.end
+
+.method mid(h) regs=2
+    invoke-static leaf, h
+    return-void
+.end
+
+.method top(h) regs=2
+    invoke-static mid, h
+    return-void
+.end
+`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := trace.NewCollector()
+	s := sim.NewSystem(p, sim.Config{Tracer: col, Seed: 1})
+	h := s.Heap().New("H")
+	pay := s.Heap().New("P")
+	h.Set(p.FieldID("ptr"), dvm.Obj(pay.ID))
+	if _, err := s.StartThread("t", "top", dvm.Obj(h.ID)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Find the pointer read inside leaf.
+	var readIdx = -1
+	for i := range col.T.Entries {
+		if col.T.Entries[i].Op == trace.OpPtrRead {
+			readIdx = i
+		}
+	}
+	if readIdx < 0 {
+		t.Fatal("no pointer read in trace")
+	}
+	stack := CallStack(col.T, readIdx)
+	got := FormatStack(col.T, stack)
+	if !strings.Contains(got, "mid") || !strings.HasSuffix(got, "leaf") {
+		t.Errorf("stack = %q, want ... mid > leaf", got)
+	}
+	if CallStack(col.T, -1) != nil {
+		t.Error("out-of-range index should yield nil")
+	}
+	if FormatStack(col.T, nil) == "" {
+		t.Error("empty stack should render a placeholder")
+	}
+}
+
+func TestDescribeWithContext(t *testing.T) {
+	res, g := pipeline(t, mytracksSrc, Options{}, buildMyTracks(t))
+	if len(res.Races) != 1 {
+		t.Fatal("expected the MyTracks race")
+	}
+	out := res.Races[0].DescribeWithContext(g.Trace())
+	if !strings.Contains(out, "use context:") || !strings.Contains(out, "free context:") {
+		t.Errorf("DescribeWithContext = %q", out)
+	}
+	if !strings.Contains(out, "onServiceConnected") {
+		t.Errorf("use context missing handler name: %q", out)
+	}
+}

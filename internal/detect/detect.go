@@ -1,0 +1,212 @@
+package detect
+
+import (
+	"fmt"
+
+	"cafa/internal/dataflow"
+	"cafa/internal/hb"
+	"cafa/internal/lockset"
+	"cafa/internal/trace"
+)
+
+// Class categorizes a reported race per Table 1.
+type Class uint8
+
+// Race classes.
+const (
+	// ClassIntraThread: both racy operations run in events of the same
+	// looper thread (column a).
+	ClassIntraThread Class = iota
+	// ClassInterThread: cross-thread race a conventional detector
+	// misses because it totally orders looper events (column b).
+	ClassInterThread
+	// ClassConventional: cross-thread race a conventional detector
+	// also finds (column c).
+	ClassConventional
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassIntraThread:
+		return "intra-thread"
+	case ClassInterThread:
+		return "inter-thread"
+	case ClassConventional:
+		return "conventional"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Race is a reported use-free race.
+type Race struct {
+	Use   Use
+	Free  Free
+	Class Class
+}
+
+// SiteKey identifies the static code-site pair of a race; reports are
+// deduplicated on it so repeated dynamic instances of one buggy pair
+// count once.
+type SiteKey struct {
+	Field      trace.FieldID
+	UseMethod  trace.MethodID
+	UsePC      trace.PC
+	FreeMethod trace.MethodID
+	FreePC     trace.PC
+}
+
+// Key returns the race's deduplication key.
+func (r Race) Key() SiteKey {
+	return SiteKey{
+		Field:      r.Use.Var.Field(),
+		UseMethod:  r.Use.Method,
+		UsePC:      r.Use.DerefPC,
+		FreeMethod: r.Free.Method,
+		FreePC:     r.Free.PC,
+	}
+}
+
+// Describe renders a human-readable report line.
+func (r Race) Describe(tr *trace.Trace) string {
+	return fmt.Sprintf("%s race on %s: use in %s (%s pc=%d) vs free in %s (%s pc=%d)",
+		r.Class, tr.VarName(r.Use.Var),
+		tr.TaskName(r.Use.Task), tr.MethodName(r.Use.Method), r.Use.DerefPC,
+		tr.TaskName(r.Free.Task), tr.MethodName(r.Free.Method), r.Free.PC)
+}
+
+// Options toggles the detector's pruning stages — the ablation knobs
+// of the evaluation.
+type Options struct {
+	// DisableIfGuard turns off the if-guard heuristic.
+	DisableIfGuard bool
+	// DisableIntraEventAlloc turns off intra-event-allocation.
+	DisableIntraEventAlloc bool
+	// DisableLockset turns off the mutual-exclusion filter.
+	DisableLockset bool
+	// KeepDuplicates reports every dynamic instance instead of
+	// deduplicating by code site.
+	KeepDuplicates bool
+}
+
+// Stats counts the detector's pipeline stages.
+type Stats struct {
+	Uses, Frees, Allocs int
+	Candidates          int // concurrent same-location use/free pairs considered
+	FilteredOrdered     int // pairs ordered by the causality model
+	FilteredLockset     int
+	FilteredIfGuard     int
+	FilteredIntraAlloc  int
+	Duplicates          int
+}
+
+// Result is the detector output.
+type Result struct {
+	Races []Race
+	Stats Stats
+}
+
+// Input wires the detector's dependencies.
+type Input struct {
+	Trace *trace.Trace
+	// Graph is the event-driven causality model (hb.Options{}).
+	Graph *hb.Graph
+	// Conventional, when non-nil, is the baseline model used to split
+	// inter-thread races into classes (b) and (c). Without it every
+	// cross-thread race is ClassInterThread.
+	Conventional *hb.Graph
+	// Locks are the per-operation held-lock sets.
+	Locks *lockset.Sets
+	// DerefSources, when non-nil, enables the static data-flow
+	// extension (§6.3): dereference instructions are matched to the
+	// exact pointer-load site computed by
+	// dataflow.DerefSources(program), eliminating Type III false
+	// positives. It requires the application's bytecode and is
+	// therefore optional.
+	DerefSources map[dataflow.Key]dataflow.Source
+}
+
+// Detect runs the use-free race detector (§4.2, §4.3).
+func Detect(in Input, opts Options) (*Result, error) {
+	if in.Trace == nil || in.Graph == nil {
+		return nil, fmt.Errorf("detect: trace and graph are required")
+	}
+	tr := in.Trace
+	ex := extract(tr, in.DerefSources)
+	res := &Result{}
+	res.Stats.Uses = len(ex.uses)
+	res.Stats.Frees = len(ex.frees)
+	res.Stats.Allocs = len(ex.allocs)
+
+	freesByVar := make(map[trace.VarID][]Free)
+	for _, f := range ex.frees {
+		freesByVar[f.Var] = append(freesByVar[f.Var], f)
+	}
+
+	seen := make(map[SiteKey]bool)
+	for _, u := range ex.uses {
+		for _, f := range freesByVar[u.Var] {
+			if u.Task == f.Task {
+				continue // program order within one task
+			}
+			res.Stats.Candidates++
+			if !in.Graph.Concurrent(u.ReadIdx, f.Idx) {
+				res.Stats.FilteredOrdered++
+				continue
+			}
+			if !opts.DisableLockset && in.Locks != nil && in.Locks.Intersects(u.ReadIdx, f.Idx) {
+				res.Stats.FilteredLockset++
+				continue
+			}
+			// The commutativity heuristics only apply when both events
+			// run on the same looper thread (§4.3): there, looper
+			// atomicity makes whole-event reasoning sound enough.
+			sameLooper := tr.IsEventTask(u.Task) && tr.IsEventTask(f.Task) &&
+				tr.LooperOf(u.Task) == tr.LooperOf(f.Task)
+			if sameLooper {
+				if !opts.DisableIntraEventAlloc &&
+					(ex.hasAllocAfter(f.Task, f.Var, f.Idx) || ex.hasAllocBefore(u.Task, u.Var, u.ReadIdx)) {
+					res.Stats.FilteredIntraAlloc++
+					continue
+				}
+				if !opts.DisableIfGuard && ex.guarded(u) {
+					res.Stats.FilteredIfGuard++
+					continue
+				}
+			}
+			r := Race{Use: u, Free: f}
+			if sameLooper {
+				r.Class = ClassIntraThread
+			} else if in.Conventional != nil && in.Conventional.Concurrent(u.ReadIdx, f.Idx) {
+				r.Class = ClassConventional
+			} else {
+				r.Class = ClassInterThread
+			}
+			if !opts.KeepDuplicates {
+				k := r.Key()
+				if seen[k] {
+					res.Stats.Duplicates++
+					continue
+				}
+				seen[k] = true
+			}
+			res.Races = append(res.Races, r)
+		}
+	}
+	return res, nil
+}
+
+// CountByClass tallies races per class.
+func (r *Result) CountByClass() (intra, inter, conv int) {
+	for _, rc := range r.Races {
+		switch rc.Class {
+		case ClassIntraThread:
+			intra++
+		case ClassInterThread:
+			inter++
+		case ClassConventional:
+			conv++
+		}
+	}
+	return
+}

@@ -1,0 +1,195 @@
+// Package detect implements CAFA's use-free race detection (§4): it
+// extracts uses (pointer reads that are later dereferenced) and frees
+// (null stores) from a trace, enumerates concurrent use/free pairs
+// under the event-driven causality model, and prunes false positives
+// with the if-guard and intra-event-allocation heuristics plus the
+// lockset mutual-exclusion check. It also provides the naive
+// low-level conflicting-access detector used as the paper's
+// motivation baseline (§4.1).
+package detect
+
+import (
+	"cafa/internal/dataflow"
+	"cafa/internal/trace"
+)
+
+// Use is a pointer read whose value is later dereferenced (§4.1). The
+// read is the racy operation; the deref records where it would blow
+// up.
+type Use struct {
+	ReadIdx  int // trace index of the OpPtrRead
+	DerefIdx int // trace index of the matched OpDeref
+	Var      trace.VarID
+	Obj      trace.ObjID // object the read obtained
+	Task     trace.TaskID
+	Method   trace.MethodID // method containing the deref
+	ReadPC   trace.PC
+	DerefPC  trace.PC
+}
+
+// Free is a null store to an object pointer.
+type Free struct {
+	Idx    int
+	Var    trace.VarID
+	Task   trace.TaskID
+	Method trace.MethodID
+	PC     trace.PC
+}
+
+// Alloc is a non-null store to an object pointer.
+type Alloc struct {
+	Idx  int
+	Var  trace.VarID
+	Task trace.TaskID
+}
+
+// guard is a logged branch matched to the pointer it tests.
+type guard struct {
+	idx    int
+	kind   trace.BranchKind
+	pc     trace.PC
+	target trace.PC
+	method trace.MethodID
+	vr     trace.VarID // matched pointer location
+	ok     bool        // matching succeeded
+}
+
+// extraction is the per-trace scan result.
+type extraction struct {
+	uses   []Use
+	frees  []Free
+	allocs []Alloc
+	// guards per task, in trace order.
+	guards map[trace.TaskID][]guard
+	// allocSeqs maps (task, var) to ascending trace indexes of allocs.
+	allocSeqs map[taskVar][]int
+}
+
+type taskVar struct {
+	task trace.TaskID
+	vr   trace.VarID
+}
+
+// lastRead tracks the most recent pointer read per object per task —
+// the paper's "nearest previous pointer read that gets the same
+// object ID" matching heuristic (§5.3). The heuristic is neither
+// sound nor complete (Type III false positives come from exactly
+// this), and we reproduce it faithfully.
+type lastRead struct {
+	idx    int
+	vr     trace.VarID
+	pc     trace.PC
+	method trace.MethodID
+}
+
+// siteKey identifies a static instruction site.
+type siteKey struct {
+	method trace.MethodID
+	pc     trace.PC
+}
+
+// extract scans the trace once. When sources is non-nil (the static
+// data-flow extension of §6.3), dereferences resolve to the exact
+// pointer-load site instead of the nearest same-object read.
+func extract(tr *trace.Trace, sources map[dataflow.Key]dataflow.Source) *extraction {
+	ex := &extraction{
+		guards:    make(map[trace.TaskID][]guard),
+		allocSeqs: make(map[taskVar][]int),
+	}
+	reads := make(map[trace.TaskID]map[trace.ObjID]lastRead)
+	readsBySite := make(map[trace.TaskID]map[siteKey]lastRead)
+	usedReads := make(map[int]bool) // read idx already promoted to a Use
+
+	for i := range tr.Entries {
+		e := &tr.Entries[i]
+		switch e.Op {
+		case trace.OpPtrRead:
+			m := reads[e.Task]
+			if m == nil {
+				m = make(map[trace.ObjID]lastRead)
+				reads[e.Task] = m
+			}
+			m[e.Value] = lastRead{idx: i, vr: e.Var, pc: e.PC, method: e.Method}
+			if sources != nil {
+				sm := readsBySite[e.Task]
+				if sm == nil {
+					sm = make(map[siteKey]lastRead)
+					readsBySite[e.Task] = sm
+				}
+				sm[siteKey{e.Method, e.PC}] = lastRead{idx: i, vr: e.Var, pc: e.PC, method: e.Method}
+			}
+
+		case trace.OpPtrWrite:
+			if e.Value == trace.NullObj {
+				ex.frees = append(ex.frees, Free{
+					Idx: i, Var: e.Var, Task: e.Task, Method: e.Method, PC: e.PC,
+				})
+			} else {
+				ex.allocs = append(ex.allocs, Alloc{Idx: i, Var: e.Var, Task: e.Task})
+				tv := taskVar{e.Task, e.Var}
+				ex.allocSeqs[tv] = append(ex.allocSeqs[tv], i)
+			}
+
+		case trace.OpDeref:
+			var lr lastRead
+			var ok bool
+			if sources != nil {
+				src, known := sources[dataflow.Key{Method: e.Method, PC: e.PC}]
+				switch {
+				case known && src.Kind == dataflow.SrcFresh:
+					// Freshly allocated object: never a use.
+					continue
+				case known && src.Kind == dataflow.SrcLoad:
+					lr, ok = readsBySite[e.Task][siteKey{e.Method, src.LoadPC}]
+				default:
+					lr, ok = reads[e.Task][e.Value]
+				}
+			} else {
+				lr, ok = reads[e.Task][e.Value]
+			}
+			if !ok || usedReads[lr.idx] {
+				continue
+			}
+			usedReads[lr.idx] = true
+			ex.uses = append(ex.uses, Use{
+				ReadIdx: lr.idx, DerefIdx: i, Var: lr.vr, Obj: e.Value,
+				Task: e.Task, Method: e.Method, ReadPC: lr.pc, DerefPC: e.PC,
+			})
+
+		case trace.OpBranch:
+			g := guard{
+				idx: i, kind: e.Branch, pc: e.PC, target: e.TargetPC, method: e.Method,
+			}
+			if lr, ok := reads[e.Task][e.Value]; ok {
+				g.vr = lr.vr
+				g.ok = true
+			}
+			ex.guards[e.Task] = append(ex.guards[e.Task], g)
+		}
+	}
+	return ex
+}
+
+// hasAllocAfter reports an allocation to vr in task after trace index
+// i (the free side of intra-event-allocation).
+func (ex *extraction) hasAllocAfter(task trace.TaskID, vr trace.VarID, i int) bool {
+	seqs := ex.allocSeqs[taskVar{task, vr}]
+	// seqs ascending; any > i?
+	lo, hi := 0, len(seqs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if seqs[mid] <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(seqs)
+}
+
+// hasAllocBefore reports an allocation to vr in task before trace
+// index i (the use side of intra-event-allocation).
+func (ex *extraction) hasAllocBefore(task trace.TaskID, vr trace.VarID, i int) bool {
+	seqs := ex.allocSeqs[taskVar{task, vr}]
+	return len(seqs) > 0 && seqs[0] < i
+}

@@ -1,0 +1,52 @@
+package detect
+
+import "cafa/internal/trace"
+
+// guardRegion returns the half-open PC interval [lo, hi) within the
+// guard's method in which a dereference of the tested pointer is
+// assumed safe (Figure 6). maxPC stands in for the end of the
+// function (∞ in the figure).
+const maxPC = trace.PC(1<<32 - 1)
+
+func guardRegion(kind trace.BranchKind, pc, target trace.PC) (lo, hi trace.PC) {
+	switch kind {
+	case trace.BranchIfEqz:
+		// Logged when NOT taken: the fallthrough path has a non-null
+		// pointer. Forward jump: safe between the branch and the
+		// target. Backward jump: safe from the branch to the end.
+		if target > pc {
+			return pc + 1, target
+		}
+		return pc + 1, maxPC
+	case trace.BranchIfNez, trace.BranchIfEq:
+		// Logged when taken: the target path has a non-null pointer.
+		// Forward jump: safe from the target to the end. Backward
+		// jump: safe between the target and the branch.
+		if target > pc {
+			return target, maxPC
+		}
+		return target, pc
+	default:
+		return 0, 0
+	}
+}
+
+// guarded reports whether a use's dereference is covered by an
+// if-guard: a logged branch in the same task and method, matched to
+// the same pointer location, executed before the dereference, whose
+// safe region contains the dereference PC (§4.3).
+func (ex *extraction) guarded(u Use) bool {
+	for _, g := range ex.guards[u.Task] {
+		if !g.ok || g.idx >= u.DerefIdx {
+			continue
+		}
+		if g.vr != u.Var || g.method != u.Method {
+			continue
+		}
+		lo, hi := guardRegion(g.kind, g.pc, g.target)
+		if u.DerefPC >= lo && u.DerefPC < hi {
+			return true
+		}
+	}
+	return false
+}

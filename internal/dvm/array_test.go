@@ -1,0 +1,140 @@
+package dvm
+
+import (
+	"strings"
+	"testing"
+
+	"cafa/internal/trace"
+)
+
+func TestArrayBasics(t *testing.T) {
+	p := NewProgram()
+	m := buildMethod("main", 0, 6,
+		Instr{Code: CConstInt, A: 0, Imm: 3},
+		Instr{Code: CNewArray, A: 1, B: 0}, // v1 = new[3]
+		Instr{Code: CArrayLen, A: 2, B: 1}, // v2 = len
+		Instr{Code: CSputInt, A: 2, Field: p.FieldID("len")},
+		Instr{Code: CConstInt, A: 3, Imm: 1}, // index
+		Instr{Code: CNew, A: 4, Class: "El"}, // element
+		Instr{Code: CAput, A: 4, B: 1, C: 3}, // v1[1] = v4
+		Instr{Code: CAget, A: 5, B: 1, C: 3}, // v5 = v1[1]
+		Instr{Code: CIfEq, A: 4, B: 5, Target: 10},
+		Instr{Code: CReturnVoid},
+		Instr{Code: CConstInt, A: 2, Imm: 1},
+		Instr{Code: CSputInt, A: 2, Field: p.FieldID("same")},
+		Instr{Code: CConstInt, A: 0, Imm: 7},
+		Instr{Code: CAputInt, A: 0, B: 1, C: 3}, // v1[1] = 7 (int now)
+		Instr{Code: CAgetInt, A: 2, B: 1, C: 3},
+		Instr{Code: CSputInt, A: 2, Field: p.FieldID("seven")},
+		Instr{Code: CReturnVoid},
+	)
+	if _, err := p.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	c, col, _ := newTestContext(t, p, "main")
+	if st := c.Run(0); st != Finished {
+		t.Fatalf("state=%v err=%v", st, c.Err)
+	}
+	if got := c.Heap.GetStatic(p.FieldID("len"), KInt); got.Int != 3 {
+		t.Errorf("len = %d, want 3", got.Int)
+	}
+	if got := c.Heap.GetStatic(p.FieldID("same"), KInt); got.Int != 1 {
+		t.Error("aget did not return the aput value")
+	}
+	if got := c.Heap.GetStatic(p.FieldID("seven"), KInt); got.Int != 7 {
+		t.Errorf("seven = %d, want 7", got.Int)
+	}
+	// aput emits a pointer write (an allocation: non-null).
+	var ptrWrites, ptrReads int
+	for _, e := range col.T.Entries {
+		switch e.Op {
+		case trace.OpPtrWrite:
+			ptrWrites++
+			if !e.IsAlloc() {
+				t.Error("aput of a non-null element must be an allocation")
+			}
+		case trace.OpPtrRead:
+			ptrReads++
+		}
+	}
+	if ptrWrites != 1 || ptrReads != 1 {
+		t.Errorf("ptrWrites=%d ptrReads=%d, want 1/1", ptrWrites, ptrReads)
+	}
+}
+
+func TestArrayErrors(t *testing.T) {
+	run := func(code ...Instr) (*Context, Control) {
+		p := NewProgram()
+		m := buildMethod("main", 0, 4, code...)
+		if _, err := p.AddMethod(m); err != nil {
+			t.Fatal(err)
+		}
+		c, _, _ := newTestContext(t, p, "main")
+		return c, c.Run(0)
+	}
+	// Out-of-bounds index crashes.
+	c, st := run(
+		Instr{Code: CConstInt, A: 0, Imm: 2},
+		Instr{Code: CNewArray, A: 1, B: 0},
+		Instr{Code: CConstInt, A: 2, Imm: 5},
+		Instr{Code: CAget, A: 3, B: 1, C: 2},
+		Instr{Code: CReturnVoid},
+	)
+	if st != Crashed || !strings.Contains(c.Err.Error(), "out of bounds") {
+		t.Errorf("oob: state=%v err=%v", st, c.Err)
+	}
+	// Negative length crashes.
+	c, st = run(
+		Instr{Code: CConstInt, A: 0, Imm: -1},
+		Instr{Code: CNewArray, A: 1, B: 0},
+		Instr{Code: CReturnVoid},
+	)
+	if st != Crashed || !strings.Contains(c.Err.Error(), "bad array length") {
+		t.Errorf("neg len: state=%v err=%v", st, c.Err)
+	}
+	// Array access on a non-array object crashes.
+	c, st = run(
+		Instr{Code: CNew, A: 1, Class: "X"},
+		Instr{Code: CConstInt, A: 2, Imm: 0},
+		Instr{Code: CAget, A: 3, B: 1, C: 2},
+		Instr{Code: CReturnVoid},
+	)
+	if st != Crashed || !strings.Contains(c.Err.Error(), "not an array") {
+		t.Errorf("non-array: state=%v err=%v", st, c.Err)
+	}
+	// Array access on null throws NPE (catchable).
+	c, st = run(
+		Instr{Code: CConstNull, A: 1},
+		Instr{Code: CConstInt, A: 2, Imm: 0},
+		Instr{Code: CAget, A: 3, B: 1, C: 2},
+		Instr{Code: CReturnVoid},
+	)
+	if st != Crashed {
+		t.Fatalf("null array: state=%v", st)
+	}
+	if _, ok := c.Err.(*NPE); !ok {
+		t.Errorf("null array err = %T %v, want NPE", c.Err, c.Err)
+	}
+}
+
+func TestArrayAsm(t *testing.T) {
+	// Assembled via the asm package in asm tests; here confirm the
+	// disassembler covers array opcodes.
+	p := NewProgram()
+	m := buildMethod("arr", 0, 4,
+		Instr{Code: CNewArray, A: 0, B: 1},
+		Instr{Code: CAget, A: 2, B: 0, C: 1},
+		Instr{Code: CAputInt, A: 2, B: 0, C: 1},
+		Instr{Code: CArrayLen, A: 3, B: 0},
+		Instr{Code: CReturnVoid},
+	)
+	if _, err := p.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	out := p.DisasmMethod(m)
+	for _, want := range []string{"new-array", "aget", "aput-int", "array-len"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disasm missing %q:\n%s", want, out)
+		}
+	}
+}

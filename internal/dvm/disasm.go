@@ -1,0 +1,104 @@
+package dvm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm renders one instruction in assembler-like syntax.
+func (p *Program) Disasm(in *Instr) string {
+	var b strings.Builder
+	b.WriteString(in.Code.String())
+	arg := func(format string, args ...any) {
+		if b.Len() > len(in.Code.String()) {
+			b.WriteString(",")
+		}
+		b.WriteString(" ")
+		fmt.Fprintf(&b, format, args...)
+	}
+	switch in.Code {
+	case CConstNull:
+		arg("v%d", in.A)
+	case CConstInt:
+		arg("v%d", in.A)
+		arg("#%d", in.Imm)
+	case CConstMethod:
+		arg("v%d", in.A)
+		arg("%s", p.Methods[in.MethodIdx].Name)
+	case CNew:
+		arg("v%d", in.A)
+		arg("%s", in.Class)
+	case CMove:
+		arg("v%d", in.A)
+		arg("v%d", in.B)
+	case CIget, CIgetInt:
+		arg("v%d", in.A)
+		arg("v%d", in.B)
+		arg("%s", p.FieldName(in.Field))
+	case CIput, CIputInt:
+		arg("v%d", in.A)
+		arg("v%d", in.B)
+		arg("%s", p.FieldName(in.Field))
+	case CSget, CSgetInt, CSput, CSputInt:
+		arg("v%d", in.A)
+		arg("%s", p.FieldName(in.Field))
+	case CNewArray, CArrayLen:
+		arg("v%d", in.A)
+		arg("v%d", in.B)
+	case CAget, CAgetInt, CAput, CAputInt:
+		arg("v%d", in.A)
+		arg("v%d", in.B)
+		arg("v%d", in.C)
+	case CIfEqz, CIfNez:
+		arg("v%d", in.A)
+		arg("@%d", in.Target)
+	case CIfEq, CIfIntEq, CIfIntNe, CIfIntLt, CIfIntLe, CIfIntGt, CIfIntGe:
+		arg("v%d", in.A)
+		arg("v%d", in.B)
+		arg("@%d", in.Target)
+	case CGoto, CTry:
+		arg("@%d", in.Target)
+	case CAdd, CSub, CMul:
+		arg("v%d", in.Res)
+		arg("v%d", in.A)
+		arg("v%d", in.B)
+	case CInvokeVirtual, CInvokeStatic:
+		arg("%s", p.Methods[in.MethodIdx].Name)
+		for _, r := range in.Args {
+			arg("v%d", r)
+		}
+		if in.HasRes {
+			arg("-> v%d", in.Res)
+		}
+	case CInvokeValue:
+		arg("v%d", in.A)
+		for _, r := range in.Args {
+			arg("v%d", r)
+		}
+		if in.HasRes {
+			arg("-> v%d", in.Res)
+		}
+	case CReturn:
+		arg("v%d", in.A)
+	case CIntrinsic:
+		arg("%s", in.Intr)
+		for _, r := range in.Args {
+			arg("v%d", r)
+		}
+		if in.HasRes {
+			arg("-> v%d", in.Res)
+		}
+	}
+	return b.String()
+}
+
+// DisasmMethod renders a whole method.
+func (p *Program) DisasmMethod(m *Method) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".method %s params=%d regs=%d\n", m.Name, m.NumParams, m.NumRegs)
+	for pc := range m.Code {
+		fmt.Fprintf(&b, "  %4d: %s\n", pc, p.Disasm(&m.Code[pc]))
+	}
+	b.WriteString(".end\n")
+	return b.String()
+}

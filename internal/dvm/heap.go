@@ -1,0 +1,115 @@
+package dvm
+
+import (
+	"fmt"
+
+	"cafa/internal/trace"
+)
+
+// Object is a heap object: a class name and a field store. Object IDs
+// are unique across the whole simulated system (the paper's DVM
+// assigns a unique object ID per allocation, §5.2).
+type Object struct {
+	ID    trace.ObjID
+	Class string
+	// IsArray marks array objects; ArrayLen is their length. Array
+	// slots are stored in fields keyed by slot index.
+	IsArray  bool
+	ArrayLen int
+	fields   map[trace.FieldID]Value
+}
+
+// Get reads a field (zero Value as int 0 if unset; object fields
+// default to null only if written as such — callers that care use
+// typed accessors below).
+func (o *Object) Get(f trace.FieldID) (Value, bool) {
+	v, ok := o.fields[f]
+	return v, ok
+}
+
+// Set writes a field.
+func (o *Object) Set(f trace.FieldID, v Value) { o.fields[f] = v }
+
+// Heap is the shared object store of a simulated system. It also
+// holds the static field table (one global static area; field IDs are
+// program-interned, so statics are per-field-name).
+type Heap struct {
+	next    trace.ObjID
+	objs    map[trace.ObjID]*Object
+	statics map[trace.FieldID]Value
+}
+
+// NewHeap returns an empty heap. Object IDs start at 1 (0 is null).
+func NewHeap() *Heap {
+	return &Heap{
+		next:    1,
+		objs:    make(map[trace.ObjID]*Object),
+		statics: make(map[trace.FieldID]Value),
+	}
+}
+
+// New allocates an object of the given class.
+func (h *Heap) New(class string) *Object {
+	o := &Object{ID: h.next, Class: class, fields: make(map[trace.FieldID]Value)}
+	h.next++
+	h.objs[o.ID] = o
+	return o
+}
+
+// NewArray allocates an array object of the given length.
+func (h *Heap) NewArray(n int) *Object {
+	o := h.New("[]")
+	o.IsArray = true
+	o.ArrayLen = n
+	return o
+}
+
+// Object resolves an object ID; nil for null or unknown ids.
+func (h *Heap) Object(id trace.ObjID) *Object {
+	if id == trace.NullObj {
+		return nil
+	}
+	return h.objs[id]
+}
+
+// Count returns the number of live objects.
+func (h *Heap) Count() int { return len(h.objs) }
+
+// GetStatic reads a static field; unset object-typed statics read as
+// null and unset scalars as 0 — callers pass the expected kind.
+func (h *Heap) GetStatic(f trace.FieldID, kind Kind) Value {
+	if v, ok := h.statics[f]; ok {
+		return v
+	}
+	if kind == KObj {
+		return Null()
+	}
+	return Int64(0)
+}
+
+// SetStatic writes a static field.
+func (h *Heap) SetStatic(f trace.FieldID, v Value) { h.statics[f] = v }
+
+// GetField reads an instance field with a typed default (null /
+// zero).
+func (h *Heap) GetField(o *Object, f trace.FieldID, kind Kind) Value {
+	if v, ok := o.Get(f); ok {
+		return v
+	}
+	if kind == KObj {
+		return Null()
+	}
+	return Int64(0)
+}
+
+// NPE is the error produced by a null-pointer dereference — the
+// use-after-free manifestation the paper targets.
+type NPE struct {
+	Method string
+	PC     int
+	What   string
+}
+
+func (e *NPE) Error() string {
+	return fmt.Sprintf("NullPointerException in %s at pc=%d (%s)", e.Method, e.PC, e.What)
+}

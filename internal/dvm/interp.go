@@ -1,0 +1,653 @@
+package dvm
+
+import (
+	"errors"
+	"fmt"
+
+	"cafa/internal/trace"
+)
+
+// Control is the interpreter state after a Step.
+type Control uint8
+
+// Interpreter states.
+const (
+	Running  Control = iota // more instructions to execute
+	Blocked                 // suspended in a blocking intrinsic; Resume to continue
+	Finished                // entry method returned
+	Crashed                 // uncaught exception or VM error; see Context.Err
+)
+
+func (c Control) String() string {
+	switch c {
+	case Running:
+		return "running"
+	case Blocked:
+		return "blocked"
+	case Finished:
+		return "finished"
+	case Crashed:
+		return "crashed"
+	default:
+		return fmt.Sprintf("Control(%d)", uint8(c))
+	}
+}
+
+// Env provides the runtime services a Context needs: the virtual
+// clock and the intrinsic operations (event queues, threads, locks,
+// IPC). internal/sim implements it.
+type Env interface {
+	// Now returns the current virtual time in milliseconds.
+	Now() int64
+	// Intrinsic performs a runtime operation. If blocked is true the
+	// context suspends; the runtime must later call Resume with the
+	// result. A non-nil error crashes the task.
+	Intrinsic(c *Context, in Intrinsic, args []Value) (result Value, blocked bool, err error)
+}
+
+type frame struct {
+	m        *Method
+	pc       int
+	regs     []Value
+	handlers []int // try/catch NPE handler pcs, innermost last
+}
+
+// Context is one resumable execution of bytecode: the call stack of a
+// task (thread body or event handler).
+type Context struct {
+	Prog   *Program
+	Heap   *Heap
+	Env    Env
+	Tracer trace.Tracer
+	Task   trace.TaskID
+
+	frames []frame
+	state  Control
+	traced bool
+	// Pending blocking-intrinsic result plumbing.
+	pendingRes    Reg
+	pendingHasRes bool
+	// Err holds the crash cause when state == Crashed.
+	Err error
+	// Result holds the value returned by the entry method once the
+	// context finishes (null when it returned void).
+	Result Value
+	// CaughtNPEs records NullPointerExceptions that were swallowed by
+	// try handlers — invisible as crashes but still harmful (the
+	// ToDoList data-loss pattern of §6.2).
+	CaughtNPEs []*NPE
+	// Steps counts executed instructions.
+	Steps uint64
+}
+
+// ErrStackOverflow guards against unbounded recursion in app scripts.
+var ErrStackOverflow = errors.New("dvm: call stack overflow")
+
+const maxFrames = 256
+
+// NewContext prepares an execution of entry(args...).
+func NewContext(prog *Program, heap *Heap, env Env, tracer trace.Tracer, task trace.TaskID, entry *Method, args []Value) (*Context, error) {
+	if len(args) != entry.NumParams {
+		return nil, fmt.Errorf("dvm: %s takes %d params, got %d", entry.Name, entry.NumParams, len(args))
+	}
+	c := &Context{Prog: prog, Heap: heap, Env: env, Tracer: tracer, Task: task}
+	// The uninstrumented configuration (Fig. 8 baseline) compiles the
+	// instrumentation out entirely: with a Discard tracer the
+	// interpreter skips all entry construction, like the stock
+	// fast-interpreter build of Android next to CAFA's instrumented
+	// portable interpreter.
+	if _, off := tracer.(trace.Discard); !off {
+		c.traced = true
+	}
+	c.push(entry, args)
+	return c, nil
+}
+
+func (c *Context) push(m *Method, args []Value) {
+	regs := make([]Value, m.NumRegs)
+	copy(regs, args)
+	c.frames = append(c.frames, frame{m: m, regs: regs})
+}
+
+// State returns the current control state.
+func (c *Context) State() Control { return c.state }
+
+// Crashed reports whether the context died on an uncaught exception.
+func (c *Context) Crashed() bool { return c.state == Crashed }
+
+// Resume delivers the result of a blocking intrinsic and makes the
+// context runnable again.
+func (c *Context) Resume(v Value) {
+	if c.state != Blocked {
+		panic("dvm: Resume on non-blocked context")
+	}
+	if c.pendingHasRes {
+		c.top().regs[c.pendingRes] = v
+		c.pendingHasRes = false
+	}
+	c.state = Running
+}
+
+func (c *Context) top() *frame { return &c.frames[len(c.frames)-1] }
+
+func (c *Context) crash(err error) Control {
+	c.state = Crashed
+	c.Err = err
+	return Crashed
+}
+
+// emit writes a trace entry, filling the per-context fields.
+func (c *Context) emit(e trace.Entry) {
+	if !c.traced {
+		return
+	}
+	e.Task = c.Task
+	e.Time = c.Env.Now()
+	c.Tracer.Emit(e)
+}
+
+// CurrentMethod returns the method executing on top of the stack (nil
+// when finished).
+func (c *Context) CurrentMethod() *Method {
+	if len(c.frames) == 0 {
+		return nil
+	}
+	return c.top().m
+}
+
+// objIn extracts an object reference from a register, crashing the
+// context on kind confusion (an app-script bug, not a modeled race).
+func (c *Context) objIn(f *frame, r Reg) (trace.ObjID, error) {
+	v := f.regs[r]
+	if v.Kind != KObj {
+		return 0, fmt.Errorf("dvm: %s pc=%d: v%d holds %s, want obj", f.m.Name, f.pc, r, v.Kind)
+	}
+	return v.Obj, nil
+}
+
+func (c *Context) intIn(f *frame, r Reg) (int64, error) {
+	v := f.regs[r]
+	if v.Kind != KInt {
+		return 0, fmt.Errorf("dvm: %s pc=%d: v%d holds %s, want int", f.m.Name, f.pc, r, v.Kind)
+	}
+	return v.Int, nil
+}
+
+// throwNPE implements exception flow: unwind to the innermost active
+// try handler, emitting OpReturn for every frame exited via the
+// exception (§5.3 logs method exits through exception throwing). With
+// no handler the context crashes.
+func (c *Context) throwNPE(what string) Control {
+	f := c.top()
+	npe := &NPE{Method: f.m.Name, PC: f.pc, What: what}
+	for len(c.frames) > 0 {
+		fr := c.top()
+		if n := len(fr.handlers); n > 0 {
+			fr.pc = fr.handlers[n-1]
+			fr.handlers = fr.handlers[:n-1]
+			c.CaughtNPEs = append(c.CaughtNPEs, npe)
+			return Running
+		}
+		c.emit(trace.Entry{Op: trace.OpReturn, Method: fr.m.ID, PC: trace.PC(fr.pc)})
+		c.frames = c.frames[:len(c.frames)-1]
+	}
+	return c.crash(npe)
+}
+
+// deref emits the dereference entry for obj and throws NPE when obj
+// is null.
+func (c *Context) deref(f *frame, obj trace.ObjID, what string) (Control, bool) {
+	if obj == trace.NullObj {
+		return c.throwNPE(what), false
+	}
+	c.emit(trace.Entry{Op: trace.OpDeref, Value: obj, Method: f.m.ID, PC: trace.PC(f.pc)})
+	return Running, true
+}
+
+// Step executes one instruction. It returns the context state after
+// the instruction.
+func (c *Context) Step() Control {
+	if c.state != Running {
+		return c.state
+	}
+	if len(c.frames) == 0 {
+		c.state = Finished
+		return Finished
+	}
+	c.Steps++
+	f := c.top()
+	if f.pc >= len(f.m.Code) {
+		// Falling off the end acts like return-void.
+		return c.doReturn(f, Value{}, false)
+	}
+	in := &f.m.Code[f.pc]
+	pc := f.pc
+	next := pc + 1
+
+	switch in.Code {
+	case CNop:
+
+	case CConstNull:
+		f.regs[in.A] = Null()
+	case CConstInt:
+		f.regs[in.A] = Int64(in.Imm)
+	case CConstMethod:
+		f.regs[in.A] = MethodHandle(in.MethodIdx)
+	case CNew:
+		o := c.Heap.New(in.Class)
+		f.regs[in.A] = Obj(o.ID)
+	case CMove:
+		f.regs[in.A] = f.regs[in.B]
+
+	case CIget, CIgetInt:
+		recv, err := c.objIn(f, in.B)
+		if err != nil {
+			return c.crash(err)
+		}
+		ctl, ok := c.deref(f, recv, "field read on null")
+		if !ok {
+			return ctl
+		}
+		obj := c.Heap.Object(recv)
+		if obj == nil {
+			return c.crash(fmt.Errorf("dvm: %s pc=%d: dangling object o%d", f.m.Name, pc, recv))
+		}
+		v := MakeVarEntry(recv, in.Field)
+		if in.Code == CIget {
+			val := c.Heap.GetField(obj, in.Field, KObj)
+			if val.Kind != KObj {
+				return c.crash(fmt.Errorf("dvm: %s pc=%d: field %d holds %s, want obj", f.m.Name, pc, in.Field, val.Kind))
+			}
+			c.emit(trace.Entry{Op: trace.OpPtrRead, Var: v, Value: val.Obj, Method: f.m.ID, PC: trace.PC(pc)})
+			f.regs[in.A] = val
+		} else {
+			val := c.Heap.GetField(obj, in.Field, KInt)
+			if val.Kind != KInt {
+				return c.crash(fmt.Errorf("dvm: %s pc=%d: field %d holds %s, want int", f.m.Name, pc, in.Field, val.Kind))
+			}
+			c.emit(trace.Entry{Op: trace.OpRead, Var: v, Method: f.m.ID, PC: trace.PC(pc)})
+			f.regs[in.A] = val
+		}
+
+	case CIput, CIputInt:
+		recv, err := c.objIn(f, in.B)
+		if err != nil {
+			return c.crash(err)
+		}
+		ctl, ok := c.deref(f, recv, "field write on null")
+		if !ok {
+			return ctl
+		}
+		obj := c.Heap.Object(recv)
+		if obj == nil {
+			return c.crash(fmt.Errorf("dvm: %s pc=%d: dangling object o%d", f.m.Name, pc, recv))
+		}
+		v := MakeVarEntry(recv, in.Field)
+		if in.Code == CIput {
+			val := f.regs[in.A]
+			if val.Kind != KObj {
+				return c.crash(fmt.Errorf("dvm: %s pc=%d: iput of %s, want obj", f.m.Name, pc, val.Kind))
+			}
+			c.emit(trace.Entry{Op: trace.OpPtrWrite, Var: v, Value: val.Obj, Method: f.m.ID, PC: trace.PC(pc)})
+			obj.Set(in.Field, val)
+		} else {
+			val := f.regs[in.A]
+			if val.Kind != KInt {
+				return c.crash(fmt.Errorf("dvm: %s pc=%d: iput-int of %s, want int", f.m.Name, pc, val.Kind))
+			}
+			c.emit(trace.Entry{Op: trace.OpWrite, Var: v, Method: f.m.ID, PC: trace.PC(pc)})
+			obj.Set(in.Field, val)
+		}
+
+	case CSget:
+		val := c.Heap.GetStatic(in.Field, KObj)
+		if val.Kind != KObj {
+			return c.crash(fmt.Errorf("dvm: %s pc=%d: static %d holds %s, want obj", f.m.Name, pc, in.Field, val.Kind))
+		}
+		c.emit(trace.Entry{Op: trace.OpPtrRead, Var: MakeVarEntry(trace.NullObj, in.Field), Value: val.Obj, Method: f.m.ID, PC: trace.PC(pc)})
+		f.regs[in.A] = val
+	case CSput:
+		val := f.regs[in.A]
+		if val.Kind != KObj {
+			return c.crash(fmt.Errorf("dvm: %s pc=%d: sput of %s, want obj", f.m.Name, pc, val.Kind))
+		}
+		c.emit(trace.Entry{Op: trace.OpPtrWrite, Var: MakeVarEntry(trace.NullObj, in.Field), Value: val.Obj, Method: f.m.ID, PC: trace.PC(pc)})
+		c.Heap.SetStatic(in.Field, val)
+	case CSgetInt:
+		val := c.Heap.GetStatic(in.Field, KInt)
+		if val.Kind != KInt {
+			return c.crash(fmt.Errorf("dvm: %s pc=%d: static %d holds %s, want int", f.m.Name, pc, in.Field, val.Kind))
+		}
+		c.emit(trace.Entry{Op: trace.OpRead, Var: MakeVarEntry(trace.NullObj, in.Field), Method: f.m.ID, PC: trace.PC(pc)})
+		f.regs[in.A] = val
+	case CSputInt:
+		val := f.regs[in.A]
+		if val.Kind != KInt {
+			return c.crash(fmt.Errorf("dvm: %s pc=%d: sput-int of %s, want int", f.m.Name, pc, val.Kind))
+		}
+		c.emit(trace.Entry{Op: trace.OpWrite, Var: MakeVarEntry(trace.NullObj, in.Field), Method: f.m.ID, PC: trace.PC(pc)})
+		c.Heap.SetStatic(in.Field, val)
+
+	case CNewArray:
+		n, err := c.intIn(f, in.B)
+		if err != nil {
+			return c.crash(err)
+		}
+		if n < 0 || n > 1<<20 {
+			return c.crash(fmt.Errorf("dvm: %s pc=%d: bad array length %d", f.m.Name, pc, n))
+		}
+		o := c.Heap.NewArray(int(n))
+		f.regs[in.A] = Obj(o.ID)
+
+	case CAget, CAgetInt, CAput, CAputInt:
+		arrID, err := c.objIn(f, in.B)
+		if err != nil {
+			return c.crash(err)
+		}
+		ctl, ok := c.deref(f, arrID, "array access on null")
+		if !ok {
+			return ctl
+		}
+		arr := c.Heap.Object(arrID)
+		if arr == nil || !arr.IsArray {
+			return c.crash(fmt.Errorf("dvm: %s pc=%d: o%d is not an array", f.m.Name, pc, arrID))
+		}
+		idx, err := c.intIn(f, in.C)
+		if err != nil {
+			return c.crash(err)
+		}
+		if idx < 0 || idx >= int64(arr.ArrayLen) {
+			return c.crash(fmt.Errorf("dvm: %s pc=%d: index %d out of bounds (len %d)", f.m.Name, pc, idx, arr.ArrayLen))
+		}
+		v := MakeVarEntry(arrID, trace.FieldID(idx))
+		switch in.Code {
+		case CAget:
+			val := c.Heap.GetField(arr, trace.FieldID(idx), KObj)
+			if val.Kind != KObj {
+				return c.crash(fmt.Errorf("dvm: %s pc=%d: slot %d holds %s, want obj", f.m.Name, pc, idx, val.Kind))
+			}
+			c.emit(trace.Entry{Op: trace.OpPtrRead, Var: v, Value: val.Obj, Method: f.m.ID, PC: trace.PC(pc)})
+			f.regs[in.A] = val
+		case CAgetInt:
+			val := c.Heap.GetField(arr, trace.FieldID(idx), KInt)
+			if val.Kind != KInt {
+				return c.crash(fmt.Errorf("dvm: %s pc=%d: slot %d holds %s, want int", f.m.Name, pc, idx, val.Kind))
+			}
+			c.emit(trace.Entry{Op: trace.OpRead, Var: v, Method: f.m.ID, PC: trace.PC(pc)})
+			f.regs[in.A] = val
+		case CAput:
+			val := f.regs[in.A]
+			if val.Kind != KObj {
+				return c.crash(fmt.Errorf("dvm: %s pc=%d: aput of %s, want obj", f.m.Name, pc, val.Kind))
+			}
+			c.emit(trace.Entry{Op: trace.OpPtrWrite, Var: v, Value: val.Obj, Method: f.m.ID, PC: trace.PC(pc)})
+			arr.Set(trace.FieldID(idx), val)
+		case CAputInt:
+			val := f.regs[in.A]
+			if val.Kind != KInt {
+				return c.crash(fmt.Errorf("dvm: %s pc=%d: aput-int of %s, want int", f.m.Name, pc, val.Kind))
+			}
+			c.emit(trace.Entry{Op: trace.OpWrite, Var: v, Method: f.m.ID, PC: trace.PC(pc)})
+			arr.Set(trace.FieldID(idx), val)
+		}
+
+	case CArrayLen:
+		arrID, err := c.objIn(f, in.B)
+		if err != nil {
+			return c.crash(err)
+		}
+		ctl, ok := c.deref(f, arrID, "array-len on null")
+		if !ok {
+			return ctl
+		}
+		arr := c.Heap.Object(arrID)
+		if arr == nil || !arr.IsArray {
+			return c.crash(fmt.Errorf("dvm: %s pc=%d: o%d is not an array", f.m.Name, pc, arrID))
+		}
+		f.regs[in.A] = Int64(int64(arr.ArrayLen))
+
+	case CIfEqz:
+		objID, err := c.objIn(f, in.A)
+		if err != nil {
+			return c.crash(err)
+		}
+		if objID == trace.NullObj {
+			next = in.Target // taken: not logged
+		} else {
+			c.emit(trace.Entry{Op: trace.OpBranch, Branch: trace.BranchIfEqz, Value: objID, PC: trace.PC(pc), TargetPC: trace.PC(in.Target), Method: f.m.ID})
+		}
+	case CIfNez:
+		objID, err := c.objIn(f, in.A)
+		if err != nil {
+			return c.crash(err)
+		}
+		if objID != trace.NullObj {
+			c.emit(trace.Entry{Op: trace.OpBranch, Branch: trace.BranchIfNez, Value: objID, PC: trace.PC(pc), TargetPC: trace.PC(in.Target), Method: f.m.ID})
+			next = in.Target
+		}
+	case CIfEq:
+		a, err := c.objIn(f, in.A)
+		if err != nil {
+			return c.crash(err)
+		}
+		b, err := c.objIn(f, in.B)
+		if err != nil {
+			return c.crash(err)
+		}
+		if a == b {
+			if a != trace.NullObj {
+				c.emit(trace.Entry{Op: trace.OpBranch, Branch: trace.BranchIfEq, Value: a, PC: trace.PC(pc), TargetPC: trace.PC(in.Target), Method: f.m.ID})
+			}
+			next = in.Target
+		}
+
+	case CIfIntEq, CIfIntNe, CIfIntLt, CIfIntLe, CIfIntGt, CIfIntGe:
+		a, err := c.intIn(f, in.A)
+		if err != nil {
+			return c.crash(err)
+		}
+		b, err := c.intIn(f, in.B)
+		if err != nil {
+			return c.crash(err)
+		}
+		var taken bool
+		switch in.Code {
+		case CIfIntEq:
+			taken = a == b
+		case CIfIntNe:
+			taken = a != b
+		case CIfIntLt:
+			taken = a < b
+		case CIfIntLe:
+			taken = a <= b
+		case CIfIntGt:
+			taken = a > b
+		case CIfIntGe:
+			taken = a >= b
+		}
+		if taken {
+			next = in.Target
+		}
+	case CGoto:
+		next = in.Target
+
+	case CAdd, CSub, CMul:
+		a, err := c.intIn(f, in.A)
+		if err != nil {
+			return c.crash(err)
+		}
+		b, err := c.intIn(f, in.B)
+		if err != nil {
+			return c.crash(err)
+		}
+		var r int64
+		switch in.Code {
+		case CAdd:
+			r = a + b
+		case CSub:
+			r = a - b
+		case CMul:
+			r = a * b
+		}
+		f.regs[in.Res] = Int64(r)
+
+	case CInvokeVirtual, CInvokeStatic, CInvokeValue:
+		var callee *Method
+		switch in.Code {
+		case CInvokeValue:
+			h := f.regs[in.A]
+			if h.Kind != KMethod {
+				return c.crash(fmt.Errorf("dvm: %s pc=%d: invoke-value on %s", f.m.Name, pc, h.Kind))
+			}
+			if h.Method < 0 || h.Method >= len(c.Prog.Methods) {
+				return c.crash(fmt.Errorf("dvm: %s pc=%d: bad method handle %d", f.m.Name, pc, h.Method))
+			}
+			callee = c.Prog.Methods[h.Method]
+		default:
+			callee = c.Prog.Methods[in.MethodIdx]
+		}
+		args := make([]Value, len(in.Args))
+		for i, r := range in.Args {
+			args[i] = f.regs[r]
+		}
+		if in.Code == CInvokeVirtual {
+			recv, err := c.objIn(f, in.Args[0])
+			if err != nil {
+				return c.crash(err)
+			}
+			ctl, ok := c.deref(f, recv, "invoke on null")
+			if !ok {
+				return ctl
+			}
+		}
+		if len(args) != callee.NumParams {
+			return c.crash(fmt.Errorf("dvm: %s pc=%d: %s takes %d params, got %d", f.m.Name, pc, callee.Name, callee.NumParams, len(args)))
+		}
+		if len(c.frames) >= maxFrames {
+			return c.crash(ErrStackOverflow)
+		}
+		c.emit(trace.Entry{Op: trace.OpInvoke, Method: callee.ID, PC: trace.PC(pc)})
+		f.pc = next // return address
+		c.push(callee, args)
+		return Running
+
+	case CReturnVoid:
+		return c.doReturn(f, Value{}, false)
+	case CReturn:
+		return c.doReturn(f, f.regs[in.A], true)
+
+	case CTry:
+		f.handlers = append(f.handlers, in.Target)
+	case CEndTry:
+		if len(f.handlers) == 0 {
+			return c.crash(fmt.Errorf("dvm: %s pc=%d: end-try without try", f.m.Name, pc))
+		}
+		f.handlers = f.handlers[:len(f.handlers)-1]
+	case CThrow:
+		return c.throwNPE("explicit throw")
+
+	case CIntrinsic:
+		args := make([]Value, len(in.Args))
+		for i, r := range in.Args {
+			args[i] = f.regs[r]
+		}
+		f.pc = next // resume point
+		res, blocked, err := c.Env.Intrinsic(c, in.Intr, args)
+		if err != nil {
+			return c.crash(err)
+		}
+		if blocked {
+			c.pendingHasRes = in.HasRes
+			c.pendingRes = in.Res
+			c.state = Blocked
+			return Blocked
+		}
+		if in.HasRes {
+			// The frame stack may have been swapped by a re-entrant
+			// intrinsic (fire); store into the frame we started with.
+			f.regs[in.Res] = res
+		}
+		return c.state
+
+	default:
+		return c.crash(fmt.Errorf("dvm: %s pc=%d: bad opcode %d", f.m.Name, pc, in.Code))
+	}
+
+	f.pc = next
+	return Running
+}
+
+// doReturn pops the current frame, emitting the §5.3 return entry,
+// and delivers the result to the caller's result register.
+func (c *Context) doReturn(f *frame, v Value, hasVal bool) Control {
+	c.emit(trace.Entry{Op: trace.OpReturn, Method: f.m.ID, PC: trace.PC(f.pc)})
+	c.frames = c.frames[:len(c.frames)-1]
+	if len(c.frames) == 0 {
+		if hasVal {
+			c.Result = v
+		} else {
+			c.Result = Null()
+		}
+		c.state = Finished
+		return Finished
+	}
+	caller := c.top()
+	// caller.pc was advanced past the invoke before pushing; the
+	// invoke instruction is at pc-1. Frames pushed externally (fire
+	// stacking several listener callbacks) can sit above a frame that
+	// has not executed anything yet, so only deliver a result when
+	// pc-1 really is a call instruction.
+	if caller.pc > 0 {
+		call := &caller.m.Code[caller.pc-1]
+		switch call.Code {
+		case CInvokeVirtual, CInvokeStatic, CInvokeValue, CIntrinsic:
+			if call.HasRes {
+				if !hasVal {
+					v = Null()
+				}
+				caller.regs[call.Res] = v
+			}
+		}
+	}
+	return Running
+}
+
+// PushCall pushes a nested call onto the context (used by the runtime
+// to run listener callbacks inline within the current task, emitting
+// the same invoke entry a bytecode call would).
+func (c *Context) PushCall(m *Method, args []Value) error {
+	if len(args) != m.NumParams {
+		return fmt.Errorf("dvm: %s takes %d params, got %d", m.Name, m.NumParams, len(args))
+	}
+	if len(c.frames) >= maxFrames {
+		return ErrStackOverflow
+	}
+	var pc trace.PC
+	if len(c.frames) > 0 {
+		pc = trace.PC(c.top().pc)
+	}
+	c.emit(trace.Entry{Op: trace.OpInvoke, Method: m.ID, PC: pc})
+	c.push(m, args)
+	return nil
+}
+
+// Run steps until the context blocks, finishes, or crashes, or until
+// limit instructions have executed (0 = no limit). It returns the
+// final state.
+func (c *Context) Run(limit int) Control {
+	for n := 0; ; n++ {
+		if limit > 0 && n >= limit {
+			return c.state
+		}
+		st := c.Step()
+		if st != Running {
+			return st
+		}
+	}
+}
+
+// MakeVarEntry builds the trace VarID for a field of an object (or a
+// static when owner is NullObj).
+func MakeVarEntry(owner trace.ObjID, field trace.FieldID) trace.VarID {
+	return trace.MakeVar(owner, field)
+}

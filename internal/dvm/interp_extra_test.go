@@ -1,0 +1,155 @@
+package dvm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInvokeValue(t *testing.T) {
+	p := NewProgram()
+	callee := buildMethod("callee", 1, 2,
+		Instr{Code: CConstInt, A: 1, Imm: 9},
+		Instr{Code: CReturn, A: 1},
+	)
+	ci, err := p.AddMethod(callee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := buildMethod("main", 0, 3,
+		Instr{Code: CConstMethod, A: 0, MethodIdx: ci},
+		Instr{Code: CConstNull, A: 1},
+		Instr{Code: CInvokeValue, A: 0, Args: []Reg{1}, Res: 2, HasRes: true},
+		Instr{Code: CSputInt, A: 2, Field: p.FieldID("got")},
+		Instr{Code: CReturnVoid},
+	)
+	if _, err := p.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	c, _, _ := newTestContext(t, p, "main")
+	if st := c.Run(0); st != Finished {
+		t.Fatalf("state=%v err=%v", st, c.Err)
+	}
+	if got := c.Heap.GetStatic(p.FieldID("got"), KInt); got.Int != 9 {
+		t.Errorf("got = %d, want 9", got.Int)
+	}
+}
+
+func TestInvokeValueOnNonHandle(t *testing.T) {
+	p := NewProgram()
+	m := buildMethod("main", 0, 2,
+		Instr{Code: CConstInt, A: 0, Imm: 5},
+		Instr{Code: CInvokeValue, A: 0},
+		Instr{Code: CReturnVoid},
+	)
+	if _, err := p.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	c, _, _ := newTestContext(t, p, "main")
+	if st := c.Run(0); st != Crashed || !strings.Contains(c.Err.Error(), "invoke-value") {
+		t.Errorf("state=%v err=%v", st, c.Err)
+	}
+}
+
+func TestFallOffEndActsLikeReturn(t *testing.T) {
+	p := NewProgram()
+	m := buildMethod("main", 0, 1,
+		Instr{Code: CNop},
+	)
+	if _, err := p.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	c, _, _ := newTestContext(t, p, "main")
+	if st := c.Run(0); st != Finished {
+		t.Fatalf("state=%v err=%v", st, c.Err)
+	}
+	if !c.Result.IsNull() {
+		t.Error("implicit return should yield null result")
+	}
+}
+
+func TestResultCapturedAtTopLevel(t *testing.T) {
+	p := NewProgram()
+	m := buildMethod("main", 0, 1,
+		Instr{Code: CConstInt, A: 0, Imm: 77},
+		Instr{Code: CReturn, A: 0},
+	)
+	if _, err := p.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	c, _, _ := newTestContext(t, p, "main")
+	if st := c.Run(0); st != Finished {
+		t.Fatalf("state=%v err=%v", st, c.Err)
+	}
+	if c.Result.Kind != KInt || c.Result.Int != 77 {
+		t.Errorf("Result = %v, want #77", c.Result)
+	}
+}
+
+func TestStatesAndStrings(t *testing.T) {
+	for _, s := range []Control{Running, Blocked, Finished, Crashed} {
+		if s.String() == "" || strings.HasPrefix(s.String(), "Control(") {
+			t.Errorf("state %d unnamed", s)
+		}
+	}
+	if s := Control(9).String(); !strings.Contains(s, "9") {
+		t.Error("unknown state should include value")
+	}
+	for c := CNop; c < codeMax; c++ {
+		if s := c.String(); s == "" || strings.HasPrefix(s, "Code(") {
+			t.Errorf("opcode %d unnamed", c)
+		}
+	}
+	for in := IntrSend; in < intrMax; in++ {
+		if s := in.String(); s == "" || strings.HasPrefix(s, "Intrinsic(") {
+			t.Errorf("intrinsic %d unnamed", in)
+		}
+	}
+}
+
+func TestResumePanicsWhenNotBlocked(t *testing.T) {
+	p := NewProgram()
+	m := buildMethod("main", 0, 1, Instr{Code: CReturnVoid})
+	if _, err := p.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	c, _, _ := newTestContext(t, p, "main")
+	defer func() {
+		if recover() == nil {
+			t.Error("Resume on runnable context must panic")
+		}
+	}()
+	c.Resume(Int64(0))
+}
+
+func TestContextArityMismatch(t *testing.T) {
+	p := NewProgram()
+	m := buildMethod("needsTwo", 2, 3, Instr{Code: CReturnVoid})
+	if _, err := p.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewContext(p, NewHeap(), &fakeEnv{}, nil, 1, m, nil); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestPushCallErrors(t *testing.T) {
+	p := NewProgram()
+	m := buildMethod("main", 0, 1, Instr{Code: CNop}, Instr{Code: CReturnVoid})
+	if _, err := p.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	two := buildMethod("two", 2, 2, Instr{Code: CReturnVoid})
+	if _, err := p.AddMethod(two); err != nil {
+		t.Fatal(err)
+	}
+	c, _, _ := newTestContext(t, p, "main")
+	if err := c.PushCall(two, nil); err == nil {
+		t.Error("PushCall arity mismatch accepted")
+	}
+	if err := c.PushCall(two, []Value{Null(), Null()}); err != nil {
+		t.Errorf("valid PushCall failed: %v", err)
+	}
+	if got := c.CurrentMethod(); got == nil || got.Name != "two" {
+		t.Error("CurrentMethod should be the pushed frame")
+	}
+}

@@ -1,0 +1,561 @@
+package dvm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cafa/internal/trace"
+)
+
+// fakeEnv records intrinsic calls and can be scripted to block.
+type fakeEnv struct {
+	now    int64
+	calls  []Intrinsic
+	block  map[Intrinsic]bool
+	result Value
+	err    error
+}
+
+func (e *fakeEnv) Now() int64 { return e.now }
+
+func (e *fakeEnv) Intrinsic(c *Context, in Intrinsic, args []Value) (Value, bool, error) {
+	e.calls = append(e.calls, in)
+	if e.err != nil {
+		return Value{}, false, e.err
+	}
+	if e.block[in] {
+		return Value{}, true, nil
+	}
+	return e.result, false, nil
+}
+
+// buildMethod is a low-level helper for constructing test methods.
+func buildMethod(name string, params, regs int, code ...Instr) *Method {
+	return &Method{Name: name, NumParams: params, NumRegs: regs, Code: code}
+}
+
+func newTestContext(t *testing.T, p *Program, entry string, args ...Value) (*Context, *trace.Collector, *fakeEnv) {
+	t.Helper()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("program invalid: %v", err)
+	}
+	col := trace.NewCollector()
+	env := &fakeEnv{block: map[Intrinsic]bool{}}
+	idx, ok := p.MethodIndex(entry)
+	if !ok {
+		t.Fatalf("no method %s", entry)
+	}
+	c, err := NewContext(p, NewHeap(), env, col, 1, p.Methods[idx], args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, col, env
+}
+
+func ops(col *trace.Collector) []trace.Op {
+	var out []trace.Op
+	for _, e := range col.T.Entries {
+		out = append(out, e.Op)
+	}
+	return out
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	// sum 1..5 via a loop: v0=i, v1=sum, v2=limit, v3=one
+	p := NewProgram()
+	m := buildMethod("sum", 0, 4,
+		Instr{Code: CConstInt, A: 0, Imm: 1},
+		Instr{Code: CConstInt, A: 1, Imm: 0},
+		Instr{Code: CConstInt, A: 2, Imm: 5},
+		Instr{Code: CConstInt, A: 3, Imm: 1},
+		// loop:
+		Instr{Code: CIfIntGt, A: 0, B: 2, Target: 8},
+		Instr{Code: CAdd, Res: 1, A: 1, B: 0, HasRes: true},
+		Instr{Code: CAdd, Res: 0, A: 0, B: 3, HasRes: true},
+		Instr{Code: CGoto, Target: 4},
+		Instr{Code: CReturn, A: 1},
+	)
+	if _, err := p.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	c, _, _ := newTestContext(t, p, "sum")
+	if st := c.Run(0); st != Finished {
+		t.Fatalf("state = %v, err = %v", st, c.Err)
+	}
+	// Result of a top-level return is discarded, but the loop must
+	// terminate. Run a variant returning through a caller instead.
+	p2 := NewProgram()
+	callee := buildMethod("five", 0, 1,
+		Instr{Code: CConstInt, A: 0, Imm: 5},
+		Instr{Code: CReturn, A: 0},
+	)
+	ci, _ := 0, 0
+	ci2, err := p2.AddMethod(callee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caller := buildMethod("main", 0, 2,
+		Instr{Code: CInvokeStatic, MethodIdx: ci2, Res: 1, HasRes: true},
+		Instr{Code: CSputInt, A: 1, Field: p2.FieldID("out")},
+		Instr{Code: CReturnVoid},
+	)
+	if _, err := p2.AddMethod(caller); err != nil {
+		t.Fatal(err)
+	}
+	_ = ci
+	c2, _, _ := newTestContext(t, p2, "main")
+	if st := c2.Run(0); st != Finished {
+		t.Fatalf("state = %v, err = %v", st, c2.Err)
+	}
+	got := c2.Heap.GetStatic(p2.FieldID("out"), KInt)
+	if got.Int != 5 {
+		t.Errorf("static out = %d, want 5", got.Int)
+	}
+}
+
+func TestFieldAccessTracing(t *testing.T) {
+	p := NewProgram()
+	fld := p.FieldID("ptr")
+	m := buildMethod("main", 0, 3,
+		Instr{Code: CNew, A: 0, Class: "Holder"},
+		Instr{Code: CNew, A: 1, Class: "Payload"},
+		Instr{Code: CIput, A: 1, B: 0, Field: fld}, // holder.ptr = payload (allocation)
+		Instr{Code: CIget, A: 2, B: 0, Field: fld}, // read holder.ptr
+		Instr{Code: CConstNull, A: 1},
+		Instr{Code: CIput, A: 1, B: 0, Field: fld}, // holder.ptr = null (free)
+		Instr{Code: CReturnVoid},
+	)
+	if _, err := p.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	c, col, _ := newTestContext(t, p, "main")
+	if st := c.Run(0); st != Finished {
+		t.Fatalf("state = %v, err = %v", st, c.Err)
+	}
+	var writes, reads, derefs, frees, allocs int
+	for i := range col.T.Entries {
+		e := &col.T.Entries[i]
+		switch e.Op {
+		case trace.OpPtrWrite:
+			writes++
+			if e.IsFree() {
+				frees++
+			}
+			if e.IsAlloc() {
+				allocs++
+			}
+		case trace.OpPtrRead:
+			reads++
+		case trace.OpDeref:
+			derefs++
+		}
+	}
+	if writes != 2 || reads != 1 || frees != 1 || allocs != 1 {
+		t.Errorf("writes=%d reads=%d frees=%d allocs=%d, want 2/1/1/1", writes, reads, frees, allocs)
+	}
+	if derefs != 3 { // two iputs + one iget each deref the holder
+		t.Errorf("derefs=%d, want 3", derefs)
+	}
+}
+
+func TestNPEOnNullFieldAccess(t *testing.T) {
+	p := NewProgram()
+	m := buildMethod("main", 0, 2,
+		Instr{Code: CConstNull, A: 0},
+		Instr{Code: CIget, A: 1, B: 0, Field: p.FieldID("x")},
+		Instr{Code: CReturnVoid},
+	)
+	if _, err := p.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	c, _, _ := newTestContext(t, p, "main")
+	if st := c.Run(0); st != Crashed {
+		t.Fatalf("state = %v, want crashed", st)
+	}
+	var npe *NPE
+	if !errors.As(c.Err, &npe) {
+		t.Fatalf("err = %v, want NPE", c.Err)
+	}
+}
+
+func TestNPECaughtByTry(t *testing.T) {
+	p := NewProgram()
+	fld := p.FieldID("x")
+	out := p.FieldID("caught")
+	m := buildMethod("main", 0, 2,
+		Instr{Code: CTry, Target: 5},
+		Instr{Code: CConstNull, A: 0},
+		Instr{Code: CIget, A: 1, B: 0, Field: fld}, // NPE here
+		Instr{Code: CEndTry},
+		Instr{Code: CReturnVoid},
+		// handler:
+		Instr{Code: CConstInt, A: 1, Imm: 1},
+		Instr{Code: CSputInt, A: 1, Field: out},
+		Instr{Code: CReturnVoid},
+	)
+	if _, err := p.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	c, _, _ := newTestContext(t, p, "main")
+	if st := c.Run(0); st != Finished {
+		t.Fatalf("state = %v, err = %v", st, c.Err)
+	}
+	if got := c.Heap.GetStatic(out, KInt); got.Int != 1 {
+		t.Error("handler did not run")
+	}
+}
+
+func TestNPEUnwindsFramesAndLogsReturns(t *testing.T) {
+	p := NewProgram()
+	fld := p.FieldID("x")
+	inner := buildMethod("inner", 0, 2,
+		Instr{Code: CConstNull, A: 0},
+		Instr{Code: CIget, A: 1, B: 0, Field: fld},
+		Instr{Code: CReturnVoid},
+	)
+	ii, err := p.AddMethod(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := buildMethod("mid", 0, 1,
+		Instr{Code: CInvokeStatic, MethodIdx: ii},
+		Instr{Code: CReturnVoid},
+	)
+	mi, err := p.AddMethod(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := buildMethod("outer", 0, 2,
+		Instr{Code: CTry, Target: 3},
+		Instr{Code: CInvokeStatic, MethodIdx: mi},
+		Instr{Code: CEndTry},
+		Instr{Code: CReturnVoid},
+	)
+	if _, err := p.AddMethod(outer); err != nil {
+		t.Fatal(err)
+	}
+	c, col, _ := newTestContext(t, p, "outer")
+	if st := c.Run(0); st != Finished {
+		t.Fatalf("state = %v, err = %v", st, c.Err)
+	}
+	// The two unwound frames (inner, mid) must each have logged an
+	// exceptional return.
+	var returns int
+	for _, op := range ops(col) {
+		if op == trace.OpReturn {
+			returns++
+		}
+	}
+	if returns < 3 { // inner + mid exceptional, outer normal
+		t.Errorf("returns logged = %d, want >= 3", returns)
+	}
+}
+
+func TestGuardBranchLogging(t *testing.T) {
+	p := NewProgram()
+	fld := p.FieldID("h")
+	// if-eqz on non-null: not taken → logged.
+	m1 := buildMethod("nonnullEqz", 0, 2,
+		Instr{Code: CNew, A: 0, Class: "X"},
+		Instr{Code: CIfEqz, A: 0, Target: 3},
+		Instr{Code: CNop},
+		Instr{Code: CReturnVoid},
+	)
+	// if-eqz on null: taken → not logged.
+	m2 := buildMethod("nullEqz", 0, 2,
+		Instr{Code: CConstNull, A: 0},
+		Instr{Code: CIfEqz, A: 0, Target: 3},
+		Instr{Code: CNop},
+		Instr{Code: CReturnVoid},
+	)
+	// if-nez on non-null: taken → logged.
+	m3 := buildMethod("nonnullNez", 0, 2,
+		Instr{Code: CNew, A: 0, Class: "X"},
+		Instr{Code: CIfNez, A: 0, Target: 3},
+		Instr{Code: CNop},
+		Instr{Code: CReturnVoid},
+	)
+	// if-eq taken on equal non-null objects → logged.
+	m4 := buildMethod("eqTaken", 0, 3,
+		Instr{Code: CNew, A: 0, Class: "X"},
+		Instr{Code: CMove, A: 1, B: 0},
+		Instr{Code: CIfEq, A: 0, B: 1, Target: 4},
+		Instr{Code: CNop},
+		Instr{Code: CReturnVoid},
+	)
+	for _, m := range []*Method{m1, m2, m3, m4} {
+		if _, err := p.AddMethod(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = fld
+	run := func(name string) []trace.Entry {
+		c, col, _ := newTestContext(t, p, name)
+		if st := c.Run(0); st != Finished {
+			t.Fatalf("%s: state=%v err=%v", name, st, c.Err)
+		}
+		var out []trace.Entry
+		for _, e := range col.T.Entries {
+			if e.Op == trace.OpBranch {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	if br := run("nonnullEqz"); len(br) != 1 || br[0].Branch != trace.BranchIfEqz {
+		t.Errorf("nonnullEqz branches = %v", br)
+	}
+	if br := run("nullEqz"); len(br) != 0 {
+		t.Errorf("nullEqz logged %v, want none", br)
+	}
+	if br := run("nonnullNez"); len(br) != 1 || br[0].Branch != trace.BranchIfNez {
+		t.Errorf("nonnullNez branches = %v", br)
+	}
+	if br := run("eqTaken"); len(br) != 1 || br[0].Branch != trace.BranchIfEq {
+		t.Errorf("eqTaken branches = %v", br)
+	}
+}
+
+func TestIntrinsicBlockingAndResume(t *testing.T) {
+	p := NewProgram()
+	m := buildMethod("main", 0, 2,
+		Instr{Code: CConstInt, A: 0, Imm: 7},
+		Instr{Code: CIntrinsic, Intr: IntrMsgRecv, Args: []Reg{0}, Res: 1, HasRes: true},
+		Instr{Code: CSputInt, A: 1, Field: p.FieldID("got")},
+		Instr{Code: CReturnVoid},
+	)
+	if _, err := p.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	c, _, env := newTestContext(t, p, "main")
+	env.block[IntrMsgRecv] = true
+	if st := c.Run(0); st != Blocked {
+		t.Fatalf("state = %v, want blocked", st)
+	}
+	c.Resume(Int64(42))
+	if st := c.Run(0); st != Finished {
+		t.Fatalf("state = %v, err = %v", st, c.Err)
+	}
+	if got := c.Heap.GetStatic(p.FieldID("got"), KInt); got.Int != 42 {
+		t.Errorf("resumed value = %d, want 42", got.Int)
+	}
+	if len(env.calls) != 1 || env.calls[0] != IntrMsgRecv {
+		t.Errorf("intrinsic calls = %v", env.calls)
+	}
+}
+
+func TestIntrinsicError(t *testing.T) {
+	p := NewProgram()
+	m := buildMethod("main", 0, 1,
+		Instr{Code: CIntrinsic, Intr: IntrJoin, Args: []Reg{0}},
+		Instr{Code: CReturnVoid},
+	)
+	if _, err := p.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	c, _, env := newTestContext(t, p, "main")
+	env.err = errors.New("bad handle")
+	if st := c.Run(0); st != Crashed {
+		t.Fatalf("state = %v, want crashed", st)
+	}
+}
+
+func TestKindConfusionCrashes(t *testing.T) {
+	p := NewProgram()
+	m := buildMethod("main", 0, 2,
+		Instr{Code: CConstInt, A: 0, Imm: 3},
+		Instr{Code: CIget, A: 1, B: 0, Field: p.FieldID("x")}, // int where obj expected
+		Instr{Code: CReturnVoid},
+	)
+	if _, err := p.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	c, _, _ := newTestContext(t, p, "main")
+	if st := c.Run(0); st != Crashed {
+		t.Fatalf("state = %v, want crashed", st)
+	}
+	if !strings.Contains(c.Err.Error(), "want obj") {
+		t.Errorf("err = %v", c.Err)
+	}
+}
+
+func TestStackOverflow(t *testing.T) {
+	p := NewProgram()
+	m := buildMethod("rec", 0, 1)
+	idx, err := p.AddMethod(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Code = []Instr{
+		{Code: CInvokeStatic, MethodIdx: idx},
+		{Code: CReturnVoid},
+	}
+	c, _, _ := newTestContext(t, p, "rec")
+	if st := c.Run(0); st != Crashed {
+		t.Fatalf("state = %v, want crashed", st)
+	}
+	if !errors.Is(c.Err, ErrStackOverflow) {
+		t.Errorf("err = %v, want stack overflow", c.Err)
+	}
+}
+
+func TestValidateCatchesBadPrograms(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *Method
+		want string
+	}{
+		{"bad target", buildMethod("m", 0, 1, Instr{Code: CGoto, Target: 99}), "out of range"},
+		{"bad reg", buildMethod("m", 0, 1, Instr{Code: CMove, A: 0, B: 5}), "out of range"},
+		{"bad method idx", buildMethod("m", 0, 1, Instr{Code: CInvokeStatic, MethodIdx: 7}), "out of range"},
+		{"virtual no recv", buildMethod("m", 0, 1, Instr{Code: CInvokeVirtual, MethodIdx: 0}), "receiver"},
+		{"bad intrinsic", buildMethod("m", 0, 1, Instr{Code: CIntrinsic, Intr: IntrNone}), "intrinsic"},
+		{"params exceed regs", buildMethod("m", 3, 1), "params"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewProgram()
+			if _, err := p.AddMethod(tc.m); err != nil {
+				t.Fatal(err)
+			}
+			err := p.Validate()
+			if err == nil {
+				t.Fatal("validation passed unexpectedly")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err %q missing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	p := NewProgram()
+	m := buildMethod("spin", 0, 1,
+		Instr{Code: CGoto, Target: 0},
+	)
+	if _, err := p.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	c, _, _ := newTestContext(t, p, "spin")
+	if st := c.Run(100); st != Running {
+		t.Fatalf("state = %v, want still running", st)
+	}
+	if c.Steps != 100 {
+		t.Errorf("steps = %d, want 100", c.Steps)
+	}
+}
+
+func TestHeapBasics(t *testing.T) {
+	h := NewHeap()
+	o := h.New("X")
+	if o.ID == trace.NullObj {
+		t.Fatal("object got null id")
+	}
+	if h.Object(o.ID) != o {
+		t.Error("object lookup failed")
+	}
+	if h.Object(trace.NullObj) != nil {
+		t.Error("null should resolve to nil")
+	}
+	if h.Count() != 1 {
+		t.Errorf("count = %d", h.Count())
+	}
+	f := trace.FieldID(3)
+	if v := h.GetField(o, f, KObj); !v.IsNull() {
+		t.Error("unset object field should read null")
+	}
+	if v := h.GetField(o, f, KInt); v.Kind != KInt || v.Int != 0 {
+		t.Error("unset int field should read 0")
+	}
+	o.Set(f, Int64(9))
+	if v, ok := o.Get(f); !ok || v.Int != 9 {
+		t.Error("field write lost")
+	}
+	if v := h.GetStatic(f, KObj); !v.IsNull() {
+		t.Error("unset object static should read null")
+	}
+	h.SetStatic(f, Obj(o.ID))
+	if v := h.GetStatic(f, KObj); v.Obj != o.ID {
+		t.Error("static write lost")
+	}
+	two := h.New("Y")
+	if two.ID == o.ID {
+		t.Error("object ids must be unique")
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if !Null().IsNull() || Obj(3).IsNull() || Int64(0).IsNull() {
+		t.Error("IsNull misbehaves")
+	}
+	if !Int64(4).Equal(Int64(4)) || Int64(4).Equal(Int64(5)) {
+		t.Error("int equality")
+	}
+	if !Obj(2).Equal(Obj(2)) || Obj(2).Equal(Obj(3)) || Obj(2).Equal(Int64(2)) {
+		t.Error("obj equality")
+	}
+	if !MethodHandle(1).Equal(MethodHandle(1)) || MethodHandle(1).Equal(MethodHandle(2)) {
+		t.Error("method equality")
+	}
+	for _, v := range []Value{Null(), Obj(7), Int64(-3), MethodHandle(2)} {
+		if v.String() == "" {
+			t.Error("empty String()")
+		}
+	}
+	if KInt.String() != "int" || KObj.String() != "obj" || KMethod.String() != "method" {
+		t.Error("kind strings")
+	}
+}
+
+func TestDisasmCoversAllOpcodes(t *testing.T) {
+	p := NewProgram()
+	fld := p.FieldID("f")
+	callee := buildMethod("callee", 1, 2, Instr{Code: CReturnVoid})
+	ci, err := p.AddMethod(callee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrs := []Instr{
+		{Code: CNop},
+		{Code: CConstNull, A: 0},
+		{Code: CConstInt, A: 0, Imm: 3},
+		{Code: CConstMethod, A: 0, MethodIdx: ci},
+		{Code: CNew, A: 0, Class: "X"},
+		{Code: CMove, A: 0, B: 1},
+		{Code: CIget, A: 0, B: 1, Field: fld},
+		{Code: CIput, A: 0, B: 1, Field: fld},
+		{Code: CSget, A: 0, Field: fld},
+		{Code: CSput, A: 0, Field: fld},
+		{Code: CIgetInt, A: 0, B: 1, Field: fld},
+		{Code: CIputInt, A: 0, B: 1, Field: fld},
+		{Code: CSgetInt, A: 0, Field: fld},
+		{Code: CSputInt, A: 0, Field: fld},
+		{Code: CIfEqz, A: 0, Target: 0},
+		{Code: CIfNez, A: 0, Target: 0},
+		{Code: CIfEq, A: 0, B: 1, Target: 0},
+		{Code: CIfIntLt, A: 0, B: 1, Target: 0},
+		{Code: CGoto, Target: 0},
+		{Code: CAdd, Res: 0, A: 0, B: 1, HasRes: true},
+		{Code: CInvokeStatic, MethodIdx: ci, Args: []Reg{0}, Res: 1, HasRes: true},
+		{Code: CInvokeVirtual, MethodIdx: ci, Args: []Reg{0}},
+		{Code: CInvokeValue, A: 0, Args: []Reg{1}},
+		{Code: CReturnVoid},
+		{Code: CReturn, A: 0},
+		{Code: CTry, Target: 0},
+		{Code: CEndTry},
+		{Code: CThrow},
+		{Code: CIntrinsic, Intr: IntrSend, Args: []Reg{0, 1}},
+	}
+	m := buildMethod("all", 0, 2, instrs...)
+	if _, err := p.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	out := p.DisasmMethod(m)
+	for _, want := range []string{"const-null", "iget", "sput-int", "invoke-static", "-> v1", "send", "try"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disasm missing %q:\n%s", want, out)
+		}
+	}
+}

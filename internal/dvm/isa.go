@@ -1,0 +1,317 @@
+package dvm
+
+import (
+	"fmt"
+
+	"cafa/internal/trace"
+)
+
+// Reg is a register index inside a frame.
+type Reg uint8
+
+// Code enumerates the instruction opcodes.
+type Code uint8
+
+// Opcodes. Mnemonics follow Dalvik where an analogue exists.
+const (
+	CNop Code = iota
+
+	// Constants and moves.
+	CConstNull   // vA := null
+	CConstInt    // vA := Imm
+	CConstMethod // vA := method handle MethodIdx
+	CNew         // vA := new Class (fresh object)
+	CMove        // vA := vB
+
+	// Object field access (traced: deref + pointer read/write).
+	CIget // vA := vB.Field        (object-typed field)
+	CIput // vB.Field := vA
+	CSget // vA := static Field
+	CSput // static Field := vA
+
+	// Scalar field access (traced: deref + rd/wr).
+	CIgetInt // vA := vB.Field (int-typed)
+	CIputInt // vB.Field := vA
+	CSgetInt // vA := static Field
+	CSputInt // static Field := vA
+
+	// Arrays (traced like instance fields; the slot index is the
+	// field component of the location id).
+	CNewArray // vA := new array of length vB
+	CAget     // vA := vB[vC]   (object-typed slot)
+	CAput     // vB[vC] := vA
+	CAgetInt  // vA := vB[vC]   (int-typed slot)
+	CAputInt  // vB[vC] := vA
+	CArrayLen // vA := len(vB)
+
+	// Object guard branches (traced per §5.3 If-Guard rules).
+	CIfEqz // if vA == null goto Target       (logged when NOT taken)
+	CIfNez // if vA != null goto Target       (logged when taken)
+	CIfEq  // if vA == vB goto Target         (logged when taken; object compare)
+
+	// Scalar branches and arithmetic (untraced).
+	CIfIntEq // if vA == vB goto Target
+	CIfIntNe
+	CIfIntLt
+	CIfIntLe
+	CIfIntGt
+	CIfIntGe
+	CGoto
+	CAdd // vRes := vA + vB
+	CSub
+	CMul
+
+	// Calls (traced: invoke/return; virtual receiver deref).
+	CInvokeVirtual // call Methods[MethodIdx] with Args (Args[0] is receiver)
+	CInvokeStatic  // call Methods[MethodIdx] with Args
+	CInvokeValue   // call method handle in vA with Args (receiverless)
+	CReturnVoid
+	CReturn // return vA
+
+	// Exception scaffolding: a per-frame stack of NPE handlers.
+	CTry    // push handler at Target
+	CEndTry // pop innermost handler
+	CThrow  // throw NPE explicitly
+
+	// Runtime intrinsic (event queue, threads, locks, IPC, ...).
+	CIntrinsic
+
+	codeMax
+)
+
+var codeNames = [...]string{
+	CNop: "nop", CConstNull: "const-null", CConstInt: "const-int",
+	CConstMethod: "const-method", CNew: "new", CMove: "move",
+	CIget: "iget", CIput: "iput", CSget: "sget", CSput: "sput",
+	CIgetInt: "iget-int", CIputInt: "iput-int", CSgetInt: "sget-int", CSputInt: "sput-int",
+	CNewArray: "new-array", CAget: "aget", CAput: "aput",
+	CAgetInt: "aget-int", CAputInt: "aput-int", CArrayLen: "array-len",
+	CIfEqz: "if-eqz", CIfNez: "if-nez", CIfEq: "if-eq",
+	CIfIntEq: "if-int-eq", CIfIntNe: "if-int-ne", CIfIntLt: "if-int-lt",
+	CIfIntLe: "if-int-le", CIfIntGt: "if-int-gt", CIfIntGe: "if-int-ge",
+	CGoto: "goto", CAdd: "add-int", CSub: "sub-int", CMul: "mul-int",
+	CInvokeVirtual: "invoke-virtual", CInvokeStatic: "invoke-static",
+	CInvokeValue: "invoke-value", CReturnVoid: "return-void", CReturn: "return",
+	CTry: "try", CEndTry: "end-try", CThrow: "throw-npe",
+	CIntrinsic: "intrinsic",
+}
+
+func (c Code) String() string {
+	if int(c) < len(codeNames) && codeNames[c] != "" {
+		return codeNames[c]
+	}
+	return fmt.Sprintf("Code(%d)", uint8(c))
+}
+
+// Intrinsic identifies a runtime service callable from bytecode.
+type Intrinsic uint8
+
+// Intrinsics. Argument conventions are documented per intrinsic;
+// handles (queues, threads, listeners, services, channels) are KInt
+// values handed out by the runtime.
+const (
+	IntrNone      Intrinsic = iota
+	IntrSend                // send(queue, methodHandle, delayMs, arg) — enqueue event
+	IntrSendFront           // sendFront(queue, methodHandle, arg) — enqueue at front
+	IntrFork                // fork(methodHandle, arg) -> threadHandle
+	IntrJoin                // join(threadHandle); blocks
+	IntrLock                // lock(obj)
+	IntrUnlock              // unlock(obj)
+	IntrWait                // wait(obj); blocks until notify
+	IntrNotify              // notify(obj)
+	IntrRegister            // register(listener, methodHandle)
+	IntrFire                // fire(listener, arg) — perform registered listeners inline
+	IntrRPC                 // rpc(service, methodHandle, arg) -> reply; blocks
+	IntrMsgSend             // msgSend(channel, arg)
+	IntrMsgRecv             // msgRecv(channel) -> arg; blocks
+	IntrSleep               // sleep(ms); blocks until the virtual clock advances
+	IntrSpin                // spin(n) — burn n units of simulated CPU work
+	IntrSelf                // self() -> current task id as int
+
+	intrMax
+)
+
+var intrNames = [...]string{
+	IntrNone: "none", IntrSend: "send", IntrSendFront: "send-front",
+	IntrFork: "fork", IntrJoin: "join", IntrLock: "lock", IntrUnlock: "unlock",
+	IntrWait: "wait", IntrNotify: "notify", IntrRegister: "register",
+	IntrFire: "fire", IntrRPC: "rpc", IntrMsgSend: "msg-send",
+	IntrMsgRecv: "msg-recv", IntrSleep: "sleep", IntrSpin: "spin", IntrSelf: "self",
+}
+
+func (in Intrinsic) String() string {
+	if int(in) < len(intrNames) && intrNames[in] != "" {
+		return intrNames[in]
+	}
+	return fmt.Sprintf("Intrinsic(%d)", uint8(in))
+}
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Code      Code
+	A, B, C   Reg  // primary operand registers
+	Res       Reg  // result register (when HasRes)
+	HasRes    bool // instruction stores a result
+	Field     trace.FieldID
+	MethodIdx int // CConstMethod / CInvoke*
+	Intr      Intrinsic
+	Args      []Reg // invoke/intrinsic argument registers
+	Target    int   // branch target pc / try handler pc
+	Imm       int64
+	Class     string // CNew
+}
+
+// Method is a compiled method.
+type Method struct {
+	Name      string
+	ID        trace.MethodID
+	NumParams int // parameters arrive in registers 0..NumParams-1
+	NumRegs   int
+	Code      []Instr
+}
+
+// Program is a compiled unit: methods plus the field intern table.
+type Program struct {
+	Methods  []*Method
+	byName   map[string]int
+	fields   map[string]trace.FieldID
+	fieldRev map[trace.FieldID]string
+	nextFld  trace.FieldID
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{
+		byName:   make(map[string]int),
+		fields:   make(map[string]trace.FieldID),
+		fieldRev: make(map[trace.FieldID]string),
+		nextFld:  1,
+	}
+}
+
+// AddMethod appends a method and returns its index. The method's ID
+// is assigned from its index (offset by 1 so 0 stays invalid).
+func (p *Program) AddMethod(m *Method) (int, error) {
+	if _, dup := p.byName[m.Name]; dup {
+		return 0, fmt.Errorf("dvm: duplicate method %q", m.Name)
+	}
+	idx := len(p.Methods)
+	m.ID = trace.MethodID(idx + 1)
+	p.Methods = append(p.Methods, m)
+	p.byName[m.Name] = idx
+	return idx, nil
+}
+
+// MethodIndex returns the index of a method by name.
+func (p *Program) MethodIndex(name string) (int, bool) {
+	idx, ok := p.byName[name]
+	return idx, ok
+}
+
+// MustMethod returns a method index, panicking if absent (for
+// test/app construction code).
+func (p *Program) MustMethod(name string) int {
+	idx, ok := p.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("dvm: unknown method %q", name))
+	}
+	return idx
+}
+
+// FieldID interns a field name.
+func (p *Program) FieldID(name string) trace.FieldID {
+	if id, ok := p.fields[name]; ok {
+		return id
+	}
+	id := p.nextFld
+	p.nextFld++
+	p.fields[name] = id
+	p.fieldRev[id] = name
+	return id
+}
+
+// FieldName returns the interned name for a field id.
+func (p *Program) FieldName(id trace.FieldID) string { return p.fieldRev[id] }
+
+// Fields returns a copy of the field intern table.
+func (p *Program) Fields() map[trace.FieldID]string {
+	out := make(map[trace.FieldID]string, len(p.fieldRev))
+	for k, v := range p.fieldRev {
+		out[k] = v
+	}
+	return out
+}
+
+// DeclareNames registers the program's field and method names with a
+// tracer so offline reports are readable.
+func (p *Program) DeclareNames(t trace.Tracer) {
+	for id, name := range p.fieldRev {
+		t.InternField(id, name)
+	}
+	for _, m := range p.Methods {
+		t.InternMethod(m.ID, m.Name)
+	}
+}
+
+// Validate checks structural sanity of every method: branch targets in
+// range, register indices within NumRegs, intrinsic/method references
+// resolvable.
+func (p *Program) Validate() error {
+	for _, m := range p.Methods {
+		if m.NumParams > m.NumRegs {
+			return fmt.Errorf("dvm: %s: %d params but only %d regs", m.Name, m.NumParams, m.NumRegs)
+		}
+		for pc, in := range m.Code {
+			bad := func(format string, args ...any) error {
+				return fmt.Errorf("dvm: %s pc=%d (%s): %s", m.Name, pc, in.Code, fmt.Sprintf(format, args...))
+			}
+			checkReg := func(r Reg) error {
+				if int(r) >= m.NumRegs {
+					return bad("register v%d out of range (%d regs)", r, m.NumRegs)
+				}
+				return nil
+			}
+			if in.Code >= codeMax {
+				return bad("invalid opcode")
+			}
+			if err := checkReg(in.A); err != nil {
+				return err
+			}
+			if err := checkReg(in.B); err != nil {
+				return err
+			}
+			if err := checkReg(in.C); err != nil {
+				return err
+			}
+			if in.HasRes {
+				if err := checkReg(in.Res); err != nil {
+					return err
+				}
+			}
+			for _, r := range in.Args {
+				if err := checkReg(r); err != nil {
+					return err
+				}
+			}
+			switch in.Code {
+			case CIfEqz, CIfNez, CIfEq, CIfIntEq, CIfIntNe, CIfIntLt, CIfIntLe,
+				CIfIntGt, CIfIntGe, CGoto, CTry:
+				if in.Target < 0 || in.Target > len(m.Code) {
+					return bad("target %d out of range", in.Target)
+				}
+			case CConstMethod, CInvokeVirtual, CInvokeStatic:
+				if in.MethodIdx < 0 || in.MethodIdx >= len(p.Methods) {
+					return bad("method index %d out of range", in.MethodIdx)
+				}
+			case CIntrinsic:
+				if in.Intr == IntrNone || in.Intr >= intrMax {
+					return bad("invalid intrinsic %d", in.Intr)
+				}
+			}
+			if in.Code == CInvokeVirtual && len(in.Args) == 0 {
+				return bad("virtual invoke needs a receiver argument")
+			}
+		}
+	}
+	return nil
+}

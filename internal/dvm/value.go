@@ -1,0 +1,98 @@
+// Package dvm implements a register-based, Dalvik-like bytecode
+// virtual machine: the instruction subset the paper's instrumented
+// interpreter traces (object-pointer gets/puts, guard branches,
+// invokes) plus enough scalar arithmetic and control flow to write
+// realistic application code.
+//
+// The interpreter is resumable: executing a blocking runtime intrinsic
+// (wait, join, RPC, ...) suspends the context, and the event-driven
+// runtime (internal/sim) resumes it with a result later. All tracing
+// of §5.3 (pointer reads/writes, dereferences, if-guard branches,
+// calling context) is emitted here, mirroring the paper's DVM
+// bytecode-interpreter instrumentation.
+package dvm
+
+import (
+	"fmt"
+
+	"cafa/internal/trace"
+)
+
+// Kind discriminates the runtime value kinds.
+type Kind uint8
+
+// Value kinds.
+const (
+	KInt    Kind = iota // 64-bit integer (also used for handles: queues, threads, listeners, ...)
+	KObj                // object reference (ObjID; NullObj is null)
+	KMethod             // method handle (index into Program.Methods)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KInt:
+		return "int"
+	case KObj:
+		return "obj"
+	case KMethod:
+		return "method"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a VM register value.
+type Value struct {
+	Kind   Kind
+	Int    int64
+	Obj    trace.ObjID
+	Method int // index into Program.Methods
+}
+
+// Int64 returns an integer value.
+func Int64(v int64) Value { return Value{Kind: KInt, Int: v} }
+
+// Obj returns an object-reference value.
+func Obj(id trace.ObjID) Value { return Value{Kind: KObj, Obj: id} }
+
+// Null is the null object reference.
+func Null() Value { return Value{Kind: KObj, Obj: trace.NullObj} }
+
+// MethodHandle returns a method-handle value.
+func MethodHandle(idx int) Value { return Value{Kind: KMethod, Method: idx} }
+
+// IsNull reports whether the value is the null reference.
+func (v Value) IsNull() bool { return v.Kind == KObj && v.Obj == trace.NullObj }
+
+func (v Value) String() string {
+	switch v.Kind {
+	case KInt:
+		return fmt.Sprintf("#%d", v.Int)
+	case KObj:
+		if v.Obj == trace.NullObj {
+			return "null"
+		}
+		return fmt.Sprintf("o%d", v.Obj)
+	case KMethod:
+		return fmt.Sprintf("mh%d", v.Method)
+	default:
+		return fmt.Sprintf("?%d", v.Kind)
+	}
+}
+
+// Equal reports value equality (used by if-eq).
+func (v Value) Equal(w Value) bool {
+	if v.Kind != w.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KInt:
+		return v.Int == w.Int
+	case KObj:
+		return v.Obj == w.Obj
+	case KMethod:
+		return v.Method == w.Method
+	default:
+		return false
+	}
+}

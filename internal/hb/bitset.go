@@ -1,0 +1,42 @@
+package hb
+
+// bitmat is a dense reachability matrix: one bit row per reduced
+// node. Rows are allocated from one backing slice to keep the memory
+// layout compact and allocation count low.
+type bitmat struct {
+	words int
+	bits  []uint64
+}
+
+func newBitmat(n int) *bitmat {
+	words := (n + 63) / 64
+	return &bitmat{words: words, bits: make([]uint64, n*words)}
+}
+
+func (m *bitmat) row(i int) []uint64 {
+	return m.bits[i*m.words : (i+1)*m.words]
+}
+
+func (m *bitmat) set(i, j int) {
+	m.row(i)[j/64] |= 1 << (uint(j) % 64)
+}
+
+func (m *bitmat) get(i, j int) bool {
+	return m.row(i)[j/64]&(1<<(uint(j)%64)) != 0
+}
+
+// orInto ors row src into row dst.
+func (m *bitmat) orInto(dst, src int) {
+	d := m.row(dst)
+	s := m.row(src)
+	for k := range d {
+		d[k] |= s[k]
+	}
+}
+
+// clear zeroes the whole matrix.
+func (m *bitmat) clear() {
+	for i := range m.bits {
+		m.bits[i] = 0
+	}
+}

@@ -1,0 +1,79 @@
+package hb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain returns a happens-before derivation from entry i to entry
+// j: the trace indexes of the reduced nodes along one shortest path
+// (starting at i's forward anchor and ending at j's backward anchor).
+// It returns nil when the entries are not ordered.
+func (g *Graph) Explain(i, j int) []int {
+	if !g.Ordered(i, j) {
+		return nil
+	}
+	ei := &g.tr.Entries[i]
+	ej := &g.tr.Entries[j]
+	if ei.Task == ej.Task {
+		return []int{i, j}
+	}
+	src := g.anchorAfter(ei.Task, i)
+	dst := g.anchorBefore(ej.Task, j)
+	if src < 0 || dst < 0 {
+		return nil
+	}
+	// BFS over reduced nodes.
+	prev := make([]int32, len(g.nodes))
+	for k := range prev {
+		prev[k] = -2
+	}
+	prev[src] = -1
+	queue := []int32{src}
+	for len(queue) > 0 && prev[dst] == -2 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[u] {
+			if prev[w] == -2 {
+				prev[w] = u
+				queue = append(queue, w)
+			}
+		}
+	}
+	if prev[dst] == -2 {
+		return nil
+	}
+	var rev []int
+	for v := dst; v >= 0; v = prev[v] {
+		rev = append(rev, g.nodes[v].seq)
+	}
+	path := make([]int, 0, len(rev)+2)
+	if rev[len(rev)-1] != i {
+		path = append(path, i)
+	}
+	for k := len(rev) - 1; k >= 0; k-- {
+		path = append(path, rev[k])
+	}
+	if path[len(path)-1] != j {
+		path = append(path, j)
+	}
+	return path
+}
+
+// FormatPath renders an Explain result as a readable derivation.
+func (g *Graph) FormatPath(path []int) string {
+	if len(path) == 0 {
+		return "(not ordered)"
+	}
+	var sb strings.Builder
+	for k, idx := range path {
+		e := &g.tr.Entries[idx]
+		if k > 0 {
+			sb.WriteString("\n  ≺ ")
+		} else {
+			sb.WriteString("    ")
+		}
+		fmt.Fprintf(&sb, "[%d] %s in %s", idx, e.String(), g.tr.TaskName(e.Task))
+	}
+	return sb.String()
+}

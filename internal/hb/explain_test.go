@@ -1,0 +1,93 @@
+package hb
+
+import (
+	"strings"
+	"testing"
+
+	"cafa/internal/trace"
+)
+
+func TestExplainForkChain(t *testing.T) {
+	b := newTB()
+	b.thread(1, "main")
+	b.thread(2, "child")
+	b.add(trace.Entry{Task: 1, Op: trace.OpBegin})
+	w1 := b.add(trace.Entry{Task: 1, Op: trace.OpWrite, Var: 1})
+	b.add(trace.Entry{Task: 1, Op: trace.OpFork, Target: 2})
+	b.add(trace.Entry{Task: 2, Op: trace.OpBegin})
+	w2 := b.add(trace.Entry{Task: 2, Op: trace.OpWrite, Var: 1})
+	b.add(trace.Entry{Task: 2, Op: trace.OpEnd})
+	b.add(trace.Entry{Task: 1, Op: trace.OpEnd})
+	g := b.build(t, Options{})
+
+	path := g.Explain(w1, w2)
+	if len(path) < 3 {
+		t.Fatalf("path = %v, want at least write → fork → begin → write", path)
+	}
+	if path[0] != w1 || path[len(path)-1] != w2 {
+		t.Errorf("path endpoints = %d..%d, want %d..%d", path[0], path[len(path)-1], w1, w2)
+	}
+	// The path must pass through the fork.
+	sawFork := false
+	for _, idx := range path {
+		if b.tr.Entries[idx].Op == trace.OpFork {
+			sawFork = true
+		}
+	}
+	if !sawFork {
+		t.Errorf("path %v does not pass through the fork", path)
+	}
+	out := g.FormatPath(path)
+	if !strings.Contains(out, "fork") || !strings.Contains(out, "≺") {
+		t.Errorf("FormatPath = %q", out)
+	}
+	// Unordered pair: no path.
+	if p := g.Explain(w2, w1); p != nil {
+		t.Errorf("reverse path = %v, want nil", p)
+	}
+	if g.FormatPath(nil) == "" {
+		t.Error("FormatPath(nil) should explain unordered")
+	}
+}
+
+func TestExplainSameTask(t *testing.T) {
+	b := newTB()
+	b.thread(1, "t")
+	b.add(trace.Entry{Task: 1, Op: trace.OpBegin})
+	a := b.add(trace.Entry{Task: 1, Op: trace.OpRead, Var: 1})
+	c := b.add(trace.Entry{Task: 1, Op: trace.OpWrite, Var: 1})
+	b.add(trace.Entry{Task: 1, Op: trace.OpEnd})
+	g := b.build(t, Options{})
+	path := g.Explain(a, c)
+	if len(path) != 2 || path[0] != a || path[1] != c {
+		t.Errorf("same-task path = %v", path)
+	}
+}
+
+func TestExplainThroughDerivedEdge(t *testing.T) {
+	// Figure 4b-style: the derived end(A) → begin(B) edge must be
+	// explainable.
+	b := loopTrace()
+	b.thread(2, "T")
+	b.event(3, "A", 1, 1)
+	b.event(4, "B", 1, 1)
+	b.add(trace.Entry{Task: 2, Op: trace.OpBegin})
+	b.add(trace.Entry{Task: 2, Op: trace.OpSend, Target: 3, Queue: 1, Delay: 0})
+	b.add(trace.Entry{Task: 2, Op: trace.OpSend, Target: 4, Queue: 1, Delay: 0})
+	b.add(trace.Entry{Task: 2, Op: trace.OpEnd})
+	b.add(trace.Entry{Task: 3, Op: trace.OpBegin, Queue: 1})
+	wA := b.add(trace.Entry{Task: 3, Op: trace.OpWrite, Var: 9})
+	b.add(trace.Entry{Task: 3, Op: trace.OpEnd})
+	b.add(trace.Entry{Task: 4, Op: trace.OpBegin, Queue: 1})
+	wB := b.add(trace.Entry{Task: 4, Op: trace.OpWrite, Var: 9})
+	b.add(trace.Entry{Task: 4, Op: trace.OpEnd})
+	b.add(trace.Entry{Task: 1, Op: trace.OpEnd})
+	g := b.build(t, Options{})
+	path := g.Explain(wA, wB)
+	if path == nil {
+		t.Fatal("rule-1-ordered writes must be explainable")
+	}
+	if path[0] != wA || path[len(path)-1] != wB {
+		t.Errorf("path endpoints wrong: %v", path)
+	}
+}

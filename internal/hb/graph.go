@@ -1,0 +1,475 @@
+// Package hb implements the paper's causality model for event-driven
+// Android executions (§3): it builds the happens-before graph of a
+// trace and answers ordering queries between arbitrary operations.
+//
+// The model's rules:
+//
+//   - program order within a task (but NOT between events of the same
+//     looper thread, and NOT between unlock → lock);
+//   - fork-join and signal-and-wait;
+//   - event listener: register(t,l) ≺ perform(e,l);
+//   - send: send(t,e,d) ≺ begin(e), sendAtFront(t,e) ≺ begin(e);
+//   - external input: external events are conservatively chained;
+//   - IPC: rpcCall ≺ rpcHandle, rpcReply ≺ rpcRet, msgSend ≺ msgRecv;
+//   - atomicity: if begin(e1) ≺ end(e2) for events of one looper,
+//     then end(e1) ≺ begin(e2);
+//   - event queue rules 1–4 over ordered sends to the same queue.
+//
+// The last two rule groups depend on already-derived reachability, so
+// Build iterates rule application and transitive closure to a
+// fixpoint.
+//
+// Because every rule only ever concludes orderings that actually held
+// in the traced execution, the happens-before relation is consistent
+// with trace order; the graph is a DAG whose topological order is the
+// entry sequence. The closure is computed over "reduced nodes" (task
+// begins/ends plus cross-edge endpoints); arbitrary operations resolve
+// through their nearest reduced anchors.
+package hb
+
+import (
+	"fmt"
+	"sort"
+
+	"cafa/internal/trace"
+)
+
+// Options configures graph construction.
+type Options struct {
+	// Conventional builds the thread-based baseline model of §6.3
+	// instead: a total order over all events of each looper thread
+	// (what a conventional race detector assumes). Lock edges are not
+	// added in either mode, matching the paper's comparator.
+	Conventional bool
+	// MaxRounds bounds fixpoint iteration (safety; 0 = default 64).
+	MaxRounds int
+}
+
+// node is one reduced node of the graph.
+type node struct {
+	seq  int // entry index in the trace
+	task trace.TaskID
+}
+
+type sendInfo struct {
+	node  int32 // reduced node id of the send entry
+	event trace.TaskID
+	delay int64
+	front bool
+}
+
+// Graph is the happens-before graph of one trace.
+type Graph struct {
+	tr    *trace.Trace
+	opts  Options
+	nodes []node
+	// nodeAt maps entry seq -> node id (+1; 0 = none).
+	nodeAt []int32
+	// taskNodes holds node ids per task, ascending by seq.
+	taskNodes map[trace.TaskID][]int32
+	adj       [][]int32
+	reach     *bitmat
+
+	begins map[trace.TaskID]int32 // node id of begin(t)
+	ends   map[trace.TaskID]int32 // node id of end(t)
+	// queueSends lists sends per queue in trace order.
+	queueSends map[trace.QueueID][]sendInfo
+	// looperEvents lists events per looper in begin order.
+	looperEvents map[trace.TaskID][]trace.TaskID
+
+	rounds    int
+	baseEdges int
+	ruleEdges int
+}
+
+// Build constructs the happens-before graph for a trace.
+func Build(tr *trace.Trace, opts Options) (*Graph, error) {
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = 64
+	}
+	g := &Graph{
+		tr:           tr,
+		opts:         opts,
+		nodeAt:       make([]int32, len(tr.Entries)),
+		taskNodes:    make(map[trace.TaskID][]int32),
+		begins:       make(map[trace.TaskID]int32),
+		ends:         make(map[trace.TaskID]int32),
+		queueSends:   make(map[trace.QueueID][]sendInfo),
+		looperEvents: make(map[trace.TaskID][]trace.TaskID),
+	}
+	if err := g.collectNodes(); err != nil {
+		return nil, err
+	}
+	g.buildBaseEdges()
+	g.reach = newBitmat(len(g.nodes))
+	for round := 0; ; round++ {
+		if round >= opts.MaxRounds {
+			return nil, fmt.Errorf("hb: fixpoint did not converge in %d rounds", opts.MaxRounds)
+		}
+		g.rounds = round + 1
+		g.closure()
+		if !g.applyDerivedRules() {
+			break
+		}
+	}
+	return g, nil
+}
+
+// isReducedOp reports whether an operation is a cross-edge endpoint.
+func isReducedOp(op trace.Op) bool {
+	switch op {
+	case trace.OpBegin, trace.OpEnd, trace.OpFork, trace.OpJoin,
+		trace.OpWait, trace.OpNotify, trace.OpSend, trace.OpSendAtFront,
+		trace.OpRegister, trace.OpPerform,
+		trace.OpRPCCall, trace.OpRPCHandle, trace.OpRPCReply, trace.OpRPCRet,
+		trace.OpMsgSend, trace.OpMsgRecv:
+		return true
+	default:
+		return false
+	}
+}
+
+func (g *Graph) collectNodes() error {
+	tr := g.tr
+	for i := range tr.Entries {
+		e := &tr.Entries[i]
+		if !isReducedOp(e.Op) {
+			continue
+		}
+		id := int32(len(g.nodes))
+		g.nodes = append(g.nodes, node{seq: i, task: e.Task})
+		g.nodeAt[i] = id + 1
+		g.taskNodes[e.Task] = append(g.taskNodes[e.Task], id)
+		switch e.Op {
+		case trace.OpBegin:
+			if _, dup := g.begins[e.Task]; dup {
+				return fmt.Errorf("hb: duplicate begin for t%d", e.Task)
+			}
+			g.begins[e.Task] = id
+			if tr.IsEventTask(e.Task) {
+				lo := tr.LooperOf(e.Task)
+				g.looperEvents[lo] = append(g.looperEvents[lo], e.Task)
+			}
+		case trace.OpEnd:
+			g.ends[e.Task] = id
+		case trace.OpSend, trace.OpSendAtFront:
+			g.queueSends[e.Queue] = append(g.queueSends[e.Queue], sendInfo{
+				node: id, event: e.Target, delay: e.Delay, front: e.Op == trace.OpSendAtFront,
+			})
+		}
+	}
+	g.adj = make([][]int32, len(g.nodes))
+	return nil
+}
+
+// addEdge inserts u → v (u, v are node ids). Edges always point
+// forward in trace order; violations indicate a malformed trace and
+// are dropped.
+func (g *Graph) addEdge(u, v int32) bool {
+	if u < 0 || v < 0 || u == v {
+		return false
+	}
+	if g.nodes[u].seq >= g.nodes[v].seq {
+		return false
+	}
+	g.adj[u] = append(g.adj[u], v)
+	return true
+}
+
+func (g *Graph) buildBaseEdges() {
+	tr := g.tr
+	// Program-order chains within each task.
+	for _, ns := range g.taskNodes {
+		for i := 1; i < len(ns); i++ {
+			if g.addEdge(ns[i-1], ns[i]) {
+				g.baseEdges++
+			}
+		}
+	}
+
+	type monPair struct {
+		notifies []int32
+		waits    []int32
+	}
+	monitors := make(map[trace.MonitorID]*monPair)
+	listeners := make(map[trace.ListenerID]*monPair) // registers / performs
+	type txnNodes struct {
+		call, handle, reply, ret int32
+	}
+	txns := make(map[trace.TxnID]*txnNodes)
+	msgs := make(map[trace.TxnID]*txnNodes) // call=send, handle=recv
+	var externals []int32                   // begin nodes of external events, in order
+
+	getTxn := func(m map[trace.TxnID]*txnNodes, id trace.TxnID) *txnNodes {
+		tn := m[id]
+		if tn == nil {
+			tn = &txnNodes{call: -1, handle: -1, reply: -1, ret: -1}
+			m[id] = tn
+		}
+		return tn
+	}
+
+	for i := range tr.Entries {
+		e := &tr.Entries[i]
+		id := g.nodeAt[i] - 1
+		if id < 0 {
+			continue
+		}
+		switch e.Op {
+		case trace.OpFork:
+			if b, ok := g.begins[e.Target]; ok && g.addEdge(id, b) {
+				g.baseEdges++
+			}
+		case trace.OpJoin:
+			if en, ok := g.ends[e.Target]; ok && g.addEdge(en, id) {
+				g.baseEdges++
+			}
+		case trace.OpNotify:
+			mp := monitors[e.Monitor]
+			if mp == nil {
+				mp = &monPair{}
+				monitors[e.Monitor] = mp
+			}
+			mp.notifies = append(mp.notifies, id)
+		case trace.OpWait:
+			mp := monitors[e.Monitor]
+			if mp == nil {
+				mp = &monPair{}
+				monitors[e.Monitor] = mp
+			}
+			mp.waits = append(mp.waits, id)
+		case trace.OpSend, trace.OpSendAtFront:
+			if b, ok := g.begins[e.Target]; ok && g.addEdge(id, b) {
+				g.baseEdges++
+			}
+		case trace.OpRegister:
+			lp := listeners[e.Listener]
+			if lp == nil {
+				lp = &monPair{}
+				listeners[e.Listener] = lp
+			}
+			lp.notifies = append(lp.notifies, id)
+		case trace.OpPerform:
+			lp := listeners[e.Listener]
+			if lp == nil {
+				lp = &monPair{}
+				listeners[e.Listener] = lp
+			}
+			lp.waits = append(lp.waits, id)
+		case trace.OpRPCCall:
+			getTxn(txns, e.Txn).call = id
+		case trace.OpRPCHandle:
+			getTxn(txns, e.Txn).handle = id
+		case trace.OpRPCReply:
+			getTxn(txns, e.Txn).reply = id
+		case trace.OpRPCRet:
+			getTxn(txns, e.Txn).ret = id
+		case trace.OpMsgSend:
+			getTxn(msgs, e.Txn).call = id
+		case trace.OpMsgRecv:
+			getTxn(msgs, e.Txn).handle = id
+		case trace.OpBegin:
+			if e.External {
+				externals = append(externals, id)
+			}
+		}
+	}
+
+	// Signal-and-wait: notify(m) ≺ every later wait(m).
+	for _, mp := range monitors {
+		for _, n := range mp.notifies {
+			for _, w := range mp.waits {
+				if g.nodes[n].seq < g.nodes[w].seq && g.addEdge(n, w) {
+					g.baseEdges++
+				}
+			}
+		}
+	}
+	// Event listener: register(l) ≺ every later perform(l).
+	for _, lp := range listeners {
+		for _, r := range lp.notifies {
+			for _, pf := range lp.waits {
+				if g.nodes[r].seq < g.nodes[pf].seq && g.addEdge(r, pf) {
+					g.baseEdges++
+				}
+			}
+		}
+	}
+	// IPC transactions.
+	for _, tn := range txns {
+		if tn.call >= 0 && tn.handle >= 0 && g.addEdge(tn.call, tn.handle) {
+			g.baseEdges++
+		}
+		if tn.reply >= 0 && tn.ret >= 0 && g.addEdge(tn.reply, tn.ret) {
+			g.baseEdges++
+		}
+	}
+	for _, tn := range msgs {
+		if tn.call >= 0 && tn.handle >= 0 && g.addEdge(tn.call, tn.handle) {
+			g.baseEdges++
+		}
+	}
+	// External input rule: end(e_i) ≺ begin(e_{i+1}) over external
+	// events in begin order (transitivity chains the rest).
+	sort.Slice(externals, func(i, j int) bool {
+		return g.nodes[externals[i]].seq < g.nodes[externals[j]].seq
+	})
+	for i := 1; i < len(externals); i++ {
+		prevTask := g.nodes[externals[i-1]].task
+		if en, ok := g.ends[prevTask]; ok && g.addEdge(en, externals[i]) {
+			g.baseEdges++
+		}
+	}
+	// Conventional baseline: total event order per looper.
+	if g.opts.Conventional {
+		for _, evs := range g.looperEvents {
+			for i := 1; i < len(evs); i++ {
+				en, ok1 := g.ends[evs[i-1]]
+				b, ok2 := g.begins[evs[i]]
+				if ok1 && ok2 && g.addEdge(en, b) {
+					g.baseEdges++
+				}
+			}
+		}
+	}
+}
+
+// closure recomputes the transitive-closure matrix. Nodes are already
+// in topological (trace) order, so one reverse sweep suffices.
+func (g *Graph) closure() {
+	g.reach.clear()
+	for i := len(g.nodes) - 1; i >= 0; i-- {
+		g.reach.set(i, i)
+		for _, w := range g.adj[i] {
+			g.reach.orInto(i, int(w))
+		}
+	}
+}
+
+// reachable reports node-level reachability (reflexive).
+func (g *Graph) reachable(u, v int32) bool {
+	return g.reach.get(int(u), int(v))
+}
+
+// applyDerivedRules applies the atomicity rule and the four event
+// queue rules, returning whether any new edge was added. The pair
+// loops are quadratic in events-per-looper and sends-per-queue, so
+// the begin/end node ids are resolved into flat arrays up front —
+// each pair test is then one or two bit probes.
+func (g *Graph) applyDerivedRules() bool {
+	added := false
+	// Atomicity rule: events of one looper, in execution order.
+	for _, evs := range g.looperEvents {
+		type be struct{ b, e int32 }
+		nodes := make([]be, len(evs))
+		for i, ev := range evs {
+			nodes[i] = be{b: -1, e: -1}
+			if b, ok := g.begins[ev]; ok {
+				nodes[i].b = b
+			}
+			if e, ok := g.ends[ev]; ok {
+				nodes[i].e = e
+			}
+		}
+		for i := 0; i < len(nodes); i++ {
+			bi, ei := nodes[i].b, nodes[i].e
+			if bi < 0 || ei < 0 {
+				continue
+			}
+			reachRow := g.reach.row(int(bi))
+			for j := i + 1; j < len(nodes); j++ {
+				ej, bj := nodes[j].e, nodes[j].b
+				if ej < 0 || bj < 0 {
+					continue
+				}
+				if reachRow[ej/64]&(1<<(uint(ej)%64)) != 0 && !g.reachable(ei, bj) {
+					if g.addEdge(ei, bj) {
+						g.ruleEdges++
+						added = true
+					}
+				}
+			}
+		}
+	}
+	// Event queue rules over ordered sends to the same queue.
+	for _, sends := range g.queueSends {
+		begins := make([]int32, len(sends))
+		for i, si := range sends {
+			begins[i] = -1
+			if b, ok := g.begins[si.event]; ok {
+				begins[i] = b
+			}
+		}
+		for ai := 0; ai < len(sends); ai++ {
+			a := sends[ai]
+			reachRow := g.reach.row(int(a.node))
+			for bi := ai + 1; bi < len(sends); bi++ {
+				b := sends[bi]
+				if a.event == b.event {
+					continue
+				}
+				if reachRow[b.node/64]&(1<<(uint(b.node)%64)) == 0 {
+					continue
+				}
+				// a's send happens-before b's send.
+				switch {
+				case !a.front && !b.front:
+					// Rule 1: delays must satisfy d1 <= d2.
+					if a.delay <= b.delay {
+						g.orderEvents(a.event, b.event, &added)
+					}
+				case a.front && !b.front:
+					// Rule 3: sendAtFront(e1) ≺ send(e2) ⇒ e1 ≺ e2.
+					g.orderEvents(a.event, b.event, &added)
+				case !a.front && b.front:
+					// Rule 2: additionally needs sendAtFront(e2) ≺ begin(e1).
+					if be := begins[ai]; be >= 0 && g.reachable(b.node, be) {
+						g.orderEvents(b.event, a.event, &added)
+					}
+				case a.front && b.front:
+					// Rule 4: same condition as rule 2.
+					if be := begins[ai]; be >= 0 && g.reachable(b.node, be) {
+						g.orderEvents(b.event, a.event, &added)
+					}
+				}
+			}
+		}
+	}
+	return added
+}
+
+// orderEvents adds end(e1) → begin(e2) unless already derivable.
+func (g *Graph) orderEvents(e1, e2 trace.TaskID, added *bool) {
+	en, ok1 := g.ends[e1]
+	b, ok2 := g.begins[e2]
+	if !ok1 || !ok2 {
+		return
+	}
+	if g.reachable(en, b) {
+		return
+	}
+	if g.addEdge(en, b) {
+		g.ruleEdges++
+		*added = true
+	}
+}
+
+// Stats summarizes graph construction.
+type Stats struct {
+	Entries   int
+	Nodes     int
+	BaseEdges int
+	RuleEdges int
+	Rounds    int
+}
+
+// Stats returns construction statistics.
+func (g *Graph) Stats() Stats {
+	return Stats{
+		Entries:   len(g.tr.Entries),
+		Nodes:     len(g.nodes),
+		BaseEdges: g.baseEdges,
+		RuleEdges: g.ruleEdges,
+		Rounds:    g.rounds,
+	}
+}

@@ -1,0 +1,86 @@
+// Package lockset computes the set of locks held at each operation of
+// a trace. The causality model deliberately derives no happens-before
+// from unlock → lock (§3.1); instead, conflicting operations whose
+// lock sets intersect are assumed race-free, since the programmer
+// explicitly protects them (§3.2).
+package lockset
+
+import (
+	"fmt"
+	"sort"
+
+	"cafa/internal/trace"
+)
+
+// Sets holds, for every entry index of a trace, the locks its task
+// held when the operation executed. Snapshots are interned: consecutive
+// operations under an unchanged lock set share one slice.
+type Sets struct {
+	at [][]trace.LockID
+}
+
+// Compute scans the trace once and records held-lock snapshots.
+func Compute(tr *trace.Trace) (*Sets, error) {
+	s := &Sets{at: make([][]trace.LockID, len(tr.Entries))}
+	held := make(map[trace.TaskID][]trace.LockID)
+	for i := range tr.Entries {
+		e := &tr.Entries[i]
+		cur := held[e.Task]
+		switch e.Op {
+		case trace.OpLock:
+			for _, l := range cur {
+				if l == e.Lock {
+					return nil, fmt.Errorf("lockset: entry %d: lock l%d acquired twice by t%d", i, e.Lock, e.Task)
+				}
+			}
+			next := make([]trace.LockID, len(cur)+1)
+			copy(next, cur)
+			next[len(cur)] = e.Lock
+			sort.Slice(next, func(a, b int) bool { return next[a] < next[b] })
+			held[e.Task] = next
+			cur = next
+		case trace.OpUnlock:
+			idx := -1
+			for j, l := range cur {
+				if l == e.Lock {
+					idx = j
+					break
+				}
+			}
+			if idx < 0 {
+				return nil, fmt.Errorf("lockset: entry %d: unlock of l%d not held by t%d", i, e.Lock, e.Task)
+			}
+			next := make([]trace.LockID, 0, len(cur)-1)
+			next = append(next, cur[:idx]...)
+			next = append(next, cur[idx+1:]...)
+			held[e.Task] = next
+			cur = next
+		}
+		s.at[i] = cur
+	}
+	return s, nil
+}
+
+// At returns the locks held at entry i (sorted; shared slice — do not
+// mutate).
+func (s *Sets) At(i int) []trace.LockID { return s.at[i] }
+
+// Intersects reports whether the lock sets at entries i and j share a
+// lock — the mutual-exclusion condition that suppresses a race
+// report.
+func (s *Sets) Intersects(i, j int) bool {
+	a, b := s.at[i], s.at[j]
+	// Both are sorted; merge-scan.
+	x, y := 0, 0
+	for x < len(a) && y < len(b) {
+		switch {
+		case a[x] == b[y]:
+			return true
+		case a[x] < b[y]:
+			x++
+		default:
+			y++
+		}
+	}
+	return false
+}

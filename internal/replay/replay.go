@@ -1,0 +1,119 @@
+// Package replay validates reported use-free races by adversarial
+// re-execution: it re-runs the application with biased event timing
+// (delaying the event containing the use, so the free gets ahead) and
+// varied scheduler seeds, and checks whether a NullPointerException
+// actually manifests at the racy use. A confirmed crash is direct
+// evidence the race is harmful — the §6.2 notion of a use-after-free
+// violation.
+package replay
+
+import (
+	"errors"
+	"strings"
+
+	"cafa/internal/sim"
+	"cafa/internal/trace"
+)
+
+// Builder constructs and wires an application system under a given
+// runtime configuration (it must NOT call Run). The same builder run
+// under different configurations yields different interleavings of
+// the same program.
+type Builder func(cfg sim.Config) (*sim.System, error)
+
+// Confirmation records a successful adversarial reproduction.
+type Confirmation struct {
+	Seed    uint64
+	DelayMs int64
+	Crash   sim.Crash
+}
+
+// Options tunes the search.
+type Options struct {
+	// Seeds is how many scheduler seeds to try per delay (default 4).
+	Seeds int
+	// Delays are the extra latencies injected into the use event
+	// (default 0, 50, 500 ms).
+	Delays []int64
+}
+
+func (o *Options) defaults() {
+	if o.Seeds <= 0 {
+		o.Seeds = 4
+	}
+	if len(o.Delays) == 0 {
+		o.Delays = []int64{0, 50, 500}
+	}
+}
+
+// crashMatches reports whether a crash is a NullPointerException
+// raised while running the named handler.
+func crashMatches(c sim.Crash, useMethod string) bool {
+	if c.Err == nil || !strings.Contains(c.Err.Error(), "NullPointerException") {
+		return false
+	}
+	return c.Name == useMethod || strings.Contains(c.Err.Error(), useMethod)
+}
+
+// Confirm searches for an execution in which delaying useMethod's
+// event makes the free win the race and the use crash. It returns nil
+// (no error) when no adversarial schedule reproduced the crash —
+// evidence the race may be benign.
+func Confirm(build Builder, useMethod string, opts Options) (*Confirmation, error) {
+	if build == nil || useMethod == "" {
+		return nil, errors.New("replay: builder and use method required")
+	}
+	opts.defaults()
+	for _, d := range opts.Delays {
+		for seed := uint64(1); seed <= uint64(opts.Seeds); seed++ {
+			cfg := sim.Config{
+				Tracer: trace.Discard{},
+				Seed:   seed,
+			}
+			delay := d
+			bias := func(m string) int64 {
+				if m == useMethod {
+					return delay
+				}
+				return 0
+			}
+			cfg.DelayEvent = bias
+			cfg.DelayThread = bias
+			sys, err := build(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := sys.Run(); err != nil {
+				return nil, err
+			}
+			// Uncaught crashes and try-swallowed NPEs both confirm the
+			// violation; the paper counts masked exceptions as harmful
+			// too (§6.2).
+			manifests := append(sys.Crashes(), sys.CaughtNPEs()...)
+			for _, c := range manifests {
+				if crashMatches(c, useMethod) {
+					return &Confirmation{Seed: seed, DelayMs: d, Crash: c}, nil
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// Baseline runs the unbiased application once and reports whether the
+// named handler crashed without any adversarial help.
+func Baseline(build Builder, useMethod string) (bool, error) {
+	sys, err := build(sim.Config{Tracer: trace.Discard{}, Seed: 1})
+	if err != nil {
+		return false, err
+	}
+	if err := sys.Run(); err != nil {
+		return false, err
+	}
+	for _, c := range sys.Crashes() {
+		if crashMatches(c, useMethod) {
+			return true, nil
+		}
+	}
+	return false, nil
+}

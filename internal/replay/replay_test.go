@@ -1,0 +1,156 @@
+package replay
+
+import (
+	"testing"
+
+	"cafa/internal/asm"
+	"cafa/internal/dvm"
+	"cafa/internal/sim"
+)
+
+// mytracksSrc is the Figure 1 scenario: in the normal run
+// onServiceConnected lands before onDestroy and everything works;
+// delaying it flips the order and the use crashes.
+const mytracksSrc = `
+.method updateTrack(this) regs=1
+    return-void
+.end
+
+.method onServiceConnected(act) regs=3
+    iget v1, act, providerUtils
+    invoke-virtual updateTrack, v1
+    return-void
+.end
+
+.method onBind(act) regs=5
+    sget-int v1, mainQ
+    const-method v2, onServiceConnected
+    const-int v3, #0
+    send v1, v2, v3, act
+    const-int v4, #0
+    return v4
+.end
+
+.method onResume(act) regs=5
+    new v1, ProviderUtils
+    iput v1, act, providerUtils
+    sget-int v2, svc
+    const-method v3, onBind
+    rpc v2, v3, act -> v4
+    return-void
+.end
+
+.method onDestroy(act) regs=2
+    const-null v1
+    iput v1, act, providerUtils
+    return-void
+.end
+`
+
+func buildMyTracks(t *testing.T) Builder {
+	p, err := asm.Assemble(mytracksSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(cfg sim.Config) (*sim.System, error) {
+		s := sim.NewSystem(p, cfg)
+		main := s.AddLooper("main", 0)
+		svc := s.AddService("TrackRecordingService", 1)
+		s.Heap().SetStatic(p.FieldID("mainQ"), dvm.Int64(main.Handle()))
+		s.Heap().SetStatic(p.FieldID("svc"), dvm.Int64(svc))
+		act := s.Heap().New("MyTracksActivity")
+		if err := s.Inject(0, main, "onResume", dvm.Obj(act.ID), 0); err != nil {
+			return nil, err
+		}
+		if err := s.Inject(100, main, "onDestroy", dvm.Obj(act.ID), 0); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+func TestConfirmHarmfulRace(t *testing.T) {
+	build := buildMyTracks(t)
+	// Unbiased: no crash.
+	crashed, err := Baseline(build, "onServiceConnected")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashed {
+		t.Fatal("baseline run should not crash")
+	}
+	// Adversarial: delaying onServiceConnected past onDestroy must
+	// reproduce the use-after-free NPE.
+	conf, err := Confirm(build, "onServiceConnected", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf == nil {
+		t.Fatal("adversarial replay failed to confirm the harmful race")
+	}
+	if conf.DelayMs < 100 {
+		t.Errorf("confirmed with delay %dms; expected >= 100ms to pass onDestroy", conf.DelayMs)
+	}
+}
+
+// guardedSrc is the benign Figure 5 variant: the use is guarded, so
+// no schedule crashes it.
+const guardedSrc = `
+.method run(this) regs=1
+    return-void
+.end
+
+.method onFocus(act) regs=3
+    iget v1, act, handler
+    if-eqz v1, skip
+    invoke-virtual run, v1
+skip:
+    return-void
+.end
+
+.method onPause(act) regs=2
+    const-null v1
+    iput v1, act, handler
+    return-void
+.end
+`
+
+func buildGuarded(t *testing.T) Builder {
+	p, err := asm.Assemble(guardedSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(cfg sim.Config) (*sim.System, error) {
+		s := sim.NewSystem(p, cfg)
+		main := s.AddLooper("main", 0)
+		act := s.Heap().New("Activity")
+		h := s.Heap().New("Handler")
+		act.Set(p.FieldID("handler"), dvm.Obj(h.ID))
+		if err := s.Inject(0, main, "onFocus", dvm.Obj(act.ID), 0); err != nil {
+			return nil, err
+		}
+		if err := s.Inject(10, main, "onPause", dvm.Obj(act.ID), 0); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+func TestBenignRaceNotConfirmed(t *testing.T) {
+	conf, err := Confirm(buildGuarded(t), "onFocus", Options{Seeds: 3, Delays: []int64{0, 20, 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf != nil {
+		t.Fatalf("guarded use confirmed as harmful: %+v", conf)
+	}
+}
+
+func TestConfirmValidatesArgs(t *testing.T) {
+	if _, err := Confirm(nil, "x", Options{}); err == nil {
+		t.Error("nil builder accepted")
+	}
+	if _, err := Confirm(buildGuarded(t), "", Options{}); err == nil {
+		t.Error("empty method accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cafa/internal/apps"
+	"cafa/internal/sim"
+	"cafa/internal/trace"
+)
+
+// Fig8Row is one bar of Figure 8: the execution-time dilation of
+// running an app with the tracer enabled (entries serialized through
+// the logger-device codec) versus the uninstrumented run.
+type Fig8Row struct {
+	Name         string
+	Baseline     time.Duration
+	Instrumented time.Duration
+	Slowdown     float64
+	Entries      int
+	TraceBytes   int
+}
+
+// Fig8Options tunes the measurement.
+type Fig8Options struct {
+	Seed  uint64
+	Scale int
+	// Iters is the number of timed repetitions; the minimum is kept
+	// (default 3).
+	Iters int
+}
+
+// MeasureApp times one application model with and without tracing.
+func MeasureApp(spec apps.Spec, opts Fig8Options) (Fig8Row, error) {
+	if opts.Iters <= 0 {
+		opts.Iters = 3
+	}
+	if opts.Scale < 1 {
+		opts.Scale = 1
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	row := Fig8Row{Name: spec.Name}
+	timeRun := func(mk func() trace.Tracer) (time.Duration, trace.Tracer, error) {
+		best := time.Duration(0)
+		var lastTracer trace.Tracer
+		for i := 0; i < opts.Iters; i++ {
+			tracer := mk()
+			b, err := apps.Build(spec, sim.Config{Tracer: tracer, Seed: opts.Seed}, opts.Scale)
+			if err != nil {
+				return 0, nil, err
+			}
+			start := time.Now()
+			if err := b.Sys.Run(); err != nil {
+				return 0, nil, err
+			}
+			d := time.Since(start)
+			if best == 0 || d < best {
+				best = d
+			}
+			lastTracer = tracer
+		}
+		return best, lastTracer, nil
+	}
+	base, _, err := timeRun(func() trace.Tracer { return trace.Discard{} })
+	if err != nil {
+		return row, err
+	}
+	instr, tracer, err := timeRun(func() trace.Tracer { return trace.NewDeviceSink() })
+	if err != nil {
+		return row, err
+	}
+	row.Baseline = base
+	row.Instrumented = instr
+	if base > 0 {
+		row.Slowdown = float64(instr) / float64(base)
+	}
+	if sink, ok := tracer.(*trace.DeviceSink); ok {
+		row.Entries = sink.Entries()
+		row.TraceBytes = sink.Bytes()
+	}
+	return row, nil
+}
+
+// Fig8 measures every registered application.
+func Fig8(opts Fig8Options) ([]Fig8Row, error) {
+	var rows []Fig8Row
+	for _, spec := range apps.Registry {
+		r, err := MeasureApp(spec, opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// Fig8Table renders the slowdown series with an ASCII bar per app
+// (the paper reports 2×–6×).
+func Fig8Table(rows []Fig8Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %12s %12s %9s %10s %10s\n",
+		"Application", "baseline", "traced", "slowdown", "entries", "bytes")
+	fmt.Fprintf(&sb, "%s\n", strings.Repeat("-", 72))
+	for _, r := range rows {
+		bar := strings.Repeat("#", int(r.Slowdown*4+0.5))
+		fmt.Fprintf(&sb, "%-12s %12s %12s %8.2fx %10d %10d  %s\n",
+			r.Name, r.Baseline.Round(time.Microsecond), r.Instrumented.Round(time.Microsecond),
+			r.Slowdown, r.Entries, r.TraceBytes, bar)
+	}
+	return sb.String()
+}

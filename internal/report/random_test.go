@@ -1,0 +1,269 @@
+package report
+
+import (
+	"math/rand"
+	"testing"
+
+	"cafa/internal/detect"
+	"cafa/internal/dvm"
+	"cafa/internal/hb"
+	"cafa/internal/lockset"
+	"cafa/internal/sim"
+	"cafa/internal/trace"
+)
+
+// randomProgram builds a random event-driven application directly in
+// bytecode: a handful of handlers randomly composed of pointer loads
+// and dereferences (guarded or not), frees, allocations, scalar
+// traffic, sends of other handlers, fork/join, and lock-protected
+// sections. Crashes and even deadlocks are acceptable outcomes — the
+// invariants under test must hold for any execution.
+//
+// Register discipline: v0 = holder param, v1/v5 = object scratch,
+// v2 = int scratch, v3 = method handle, v4 = queue handle.
+func randomProgram(r *rand.Rand) (*dvm.Program, int, int) {
+	p := dvm.NewProgram()
+	run := &dvm.Method{Name: "run", NumParams: 1, NumRegs: 1,
+		Code: []dvm.Instr{{Code: dvm.CReturnVoid}}}
+	runIdx, err := p.AddMethod(run)
+	if err != nil {
+		panic(err)
+	}
+	nHandlers := 4 + r.Intn(4)
+	nBodies := 2 + r.Intn(2)
+	var handlers, bodies []*dvm.Method
+	for i := 0; i < nHandlers; i++ {
+		m := &dvm.Method{Name: "h" + string(rune('A'+i)), NumParams: 1, NumRegs: 8}
+		if _, err := p.AddMethod(m); err != nil {
+			panic(err)
+		}
+		handlers = append(handlers, m)
+	}
+	for i := 0; i < nBodies; i++ {
+		m := &dvm.Method{Name: "body" + string(rune('A'+i)), NumParams: 1, NumRegs: 8}
+		if _, err := p.AddMethod(m); err != nil {
+			panic(err)
+		}
+		bodies = append(bodies, m)
+	}
+	mainQ := p.FieldID("mainQ")
+	lkFld := p.FieldID("lk")
+	nPtr, nInt := 4, 3
+	ptrFld := func(i int) trace.FieldID { return p.FieldID("p" + string(rune('0'+i))) }
+	intFld := func(i int) trace.FieldID { return p.FieldID("g" + string(rune('0'+i))) }
+
+	fill := func(m *dvm.Method, canSend bool) {
+		var code []dvm.Instr
+		blocks := 2 + r.Intn(6)
+		for b := 0; b < blocks; b++ {
+			switch r.Intn(8) {
+			case 0: // load + guarded deref
+				f := ptrFld(r.Intn(nPtr))
+				code = append(code,
+					dvm.Instr{Code: dvm.CIget, A: 1, B: 0, Field: f},
+					dvm.Instr{Code: dvm.CIfEqz, A: 1, Target: len(code) + 3},
+					dvm.Instr{Code: dvm.CInvokeVirtual, MethodIdx: runIdx, Args: []dvm.Reg{1}},
+				)
+			case 1: // load + unguarded deref (may NPE)
+				f := ptrFld(r.Intn(nPtr))
+				code = append(code,
+					dvm.Instr{Code: dvm.CIget, A: 1, B: 0, Field: f},
+					dvm.Instr{Code: dvm.CTry, Target: len(code) + 4},
+					dvm.Instr{Code: dvm.CInvokeVirtual, MethodIdx: runIdx, Args: []dvm.Reg{1}},
+					dvm.Instr{Code: dvm.CEndTry},
+				)
+			case 2: // free
+				f := ptrFld(r.Intn(nPtr))
+				code = append(code,
+					dvm.Instr{Code: dvm.CConstNull, A: 1},
+					dvm.Instr{Code: dvm.CIput, A: 1, B: 0, Field: f},
+				)
+			case 3: // alloc
+				f := ptrFld(r.Intn(nPtr))
+				code = append(code,
+					dvm.Instr{Code: dvm.CNew, A: 1, Class: "X"},
+					dvm.Instr{Code: dvm.CIput, A: 1, B: 0, Field: f},
+				)
+			case 4: // scalar traffic
+				f := intFld(r.Intn(nInt))
+				if r.Intn(2) == 0 {
+					code = append(code,
+						dvm.Instr{Code: dvm.CConstInt, A: 2, Imm: int64(r.Intn(10))},
+						dvm.Instr{Code: dvm.CIputInt, A: 2, B: 0, Field: f},
+					)
+				} else {
+					code = append(code, dvm.Instr{Code: dvm.CIgetInt, A: 2, B: 0, Field: f})
+				}
+			case 5: // send another handler, bounded by a global budget
+				if canSend {
+					target := handlers[r.Intn(len(handlers))]
+					idx, _ := p.MethodIndex(target.Name)
+					budget := p.FieldID("budget")
+					base := len(code)
+					code = append(code,
+						dvm.Instr{Code: dvm.CSgetInt, A: 2, Field: budget},
+						dvm.Instr{Code: dvm.CConstInt, A: 4, Imm: 0},
+						dvm.Instr{Code: dvm.CIfIntLe, A: 2, B: 4, Target: base + 10},
+						dvm.Instr{Code: dvm.CConstInt, A: 4, Imm: 1},
+						dvm.Instr{Code: dvm.CSub, Res: 2, A: 2, B: 4, HasRes: true},
+						dvm.Instr{Code: dvm.CSputInt, A: 2, Field: budget},
+						dvm.Instr{Code: dvm.CSgetInt, A: 4, Field: mainQ},
+						dvm.Instr{Code: dvm.CConstMethod, A: 3, MethodIdx: idx},
+						dvm.Instr{Code: dvm.CConstInt, A: 2, Imm: int64(r.Intn(4))},
+						dvm.Instr{Code: dvm.CIntrinsic, Intr: dvm.IntrSend, Args: []dvm.Reg{4, 3, 2, 0}},
+					)
+				}
+			case 6: // fork + join a body (handlers only: a body forking
+				// bodies would recurse without bound)
+				if canSend {
+					target := bodies[r.Intn(len(bodies))]
+					idx, _ := p.MethodIndex(target.Name)
+					code = append(code,
+						dvm.Instr{Code: dvm.CConstMethod, A: 3, MethodIdx: idx},
+						dvm.Instr{Code: dvm.CIntrinsic, Intr: dvm.IntrFork, Args: []dvm.Reg{3, 0}, Res: 2, HasRes: true},
+						dvm.Instr{Code: dvm.CIntrinsic, Intr: dvm.IntrJoin, Args: []dvm.Reg{2}},
+					)
+				}
+			case 7: // lock-protected scalar
+				f := intFld(r.Intn(nInt))
+				code = append(code,
+					dvm.Instr{Code: dvm.CIget, A: 5, B: 0, Field: lkFld},
+					dvm.Instr{Code: dvm.CIntrinsic, Intr: dvm.IntrLock, Args: []dvm.Reg{5}},
+					dvm.Instr{Code: dvm.CConstInt, A: 2, Imm: 1},
+					dvm.Instr{Code: dvm.CIputInt, A: 2, B: 0, Field: f},
+					dvm.Instr{Code: dvm.CIntrinsic, Intr: dvm.IntrUnlock, Args: []dvm.Reg{5}},
+				)
+			}
+		}
+		code = append(code, dvm.Instr{Code: dvm.CReturnVoid})
+		m.Code = code
+	}
+	for _, m := range handlers {
+		fill(m, true)
+	}
+	for _, m := range bodies {
+		fill(m, false) // bodies do not send (keeps event volume bounded)
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p, nHandlers, nBodies
+}
+
+// runRandomSystem wires and executes one random system.
+func runRandomSystem(t *testing.T, r *rand.Rand) *trace.Trace {
+	t.Helper()
+	p, nHandlers, nBodies := randomProgram(r)
+	col := trace.NewCollector()
+	sys := sim.NewSystem(p, sim.Config{Tracer: col, Seed: r.Uint64() | 1, MaxSteps: 2_000_000})
+	main := sys.AddLooper("main", 0)
+	sys.Heap().SetStatic(p.FieldID("mainQ"), dvm.Int64(main.Handle()))
+	holder := sys.Heap().New("Holder")
+	lk := sys.Heap().New("Lock")
+	holder.Set(p.FieldID("lk"), dvm.Obj(lk.ID))
+	sys.Heap().SetStatic(p.FieldID("budget"), dvm.Int64(40))
+	for i := 0; i < 4; i++ {
+		pay := sys.Heap().New("Payload")
+		holder.Set(p.FieldID("p"+string(rune('0'+i))), dvm.Obj(pay.ID))
+	}
+	// External stimuli.
+	for i := 0; i < 2+r.Intn(3); i++ {
+		h := "h" + string(rune('A'+r.Intn(nHandlers)))
+		if err := sys.Inject(int64(r.Intn(50)), main, h, dvm.Obj(holder.ID), int64(r.Intn(3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Background threads.
+	for i := 0; i < 1+r.Intn(2); i++ {
+		b := "body" + string(rune('A'+r.Intn(nBodies)))
+		if _, err := sys.StartThread(b, b, dvm.Obj(holder.ID)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return col.T
+}
+
+// TestRandomSystemInvariants fuzzes whole systems and checks the
+// cross-cutting guarantees of the pipeline.
+func TestRandomSystemInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 80; iter++ {
+		tr := runRandomSystem(t, r)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("iter %d: invalid trace: %v", iter, err)
+		}
+		g, err := hb.Build(tr, hb.Options{})
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		conv, err := hb.Build(tr, hb.Options{Conventional: true})
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		ls, err := lockset.Compute(tr)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+
+		// Invariant 1: happens-before is consistent with trace order,
+		// and the conventional model only ever ADDS order.
+		n := tr.Len()
+		for k := 0; k < 400; k++ {
+			i, j := r.Intn(n), r.Intn(n)
+			if g.Ordered(i, j) {
+				if i >= j {
+					t.Fatalf("iter %d: Ordered(%d,%d) against trace order", iter, i, j)
+				}
+				if !conv.Ordered(i, j) {
+					t.Fatalf("iter %d: conventional model lost ordering (%d,%d)", iter, i, j)
+				}
+			}
+		}
+
+		// Invariant 2: every reported race is concurrent, on one
+		// location, across tasks, and not lock-protected.
+		res, err := detect.Detect(detect.Input{Trace: tr, Graph: g, Conventional: conv, Locks: ls},
+			detect.Options{KeepDuplicates: true})
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		for _, race := range res.Races {
+			if race.Use.Var != race.Free.Var {
+				t.Fatalf("iter %d: race across locations", iter)
+			}
+			if race.Use.Task == race.Free.Task {
+				t.Fatalf("iter %d: race within one task", iter)
+			}
+			if !g.Concurrent(race.Use.ReadIdx, race.Free.Idx) {
+				t.Fatalf("iter %d: reported race is ordered", iter)
+			}
+			if ls.Intersects(race.Use.ReadIdx, race.Free.Idx) {
+				t.Fatalf("iter %d: reported race is lock-protected", iter)
+			}
+			// Classification sanity: conventional-class races must be
+			// concurrent under the conventional model too.
+			if race.Class == detect.ClassConventional &&
+				!conv.Concurrent(race.Use.ReadIdx, race.Free.Idx) {
+				t.Fatalf("iter %d: conventional-class race ordered conventionally", iter)
+			}
+			if race.Class == detect.ClassInterThread &&
+				conv.Concurrent(race.Use.ReadIdx, race.Free.Idx) {
+				t.Fatalf("iter %d: inter-thread-class race should be conventional", iter)
+			}
+		}
+
+		// Invariant 3: the naive baseline's reports are concurrent
+		// conflicting accesses.
+		for _, nr := range detect.Naive(g) {
+			if !g.Concurrent(nr.AIdx, nr.BIdx) {
+				t.Fatalf("iter %d: naive race is ordered", iter)
+			}
+			if !nr.AWrite && !nr.BWrite {
+				t.Fatalf("iter %d: naive race without a write", iter)
+			}
+		}
+	}
+}

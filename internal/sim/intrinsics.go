@@ -1,0 +1,432 @@
+package sim
+
+import (
+	"fmt"
+
+	"cafa/internal/dvm"
+	"cafa/internal/trace"
+)
+
+// Intrinsic implements dvm.Env: the runtime services bytecode reaches
+// through the intrinsic instruction.
+func (s *System) Intrinsic(c *dvm.Context, in dvm.Intrinsic, args []dvm.Value) (dvm.Value, bool, error) {
+	t := s.tasks[c.Task]
+	if t == nil {
+		return dvm.Value{}, false, fmt.Errorf("sim: intrinsic from unknown task t%d", c.Task)
+	}
+	switch in {
+	case dvm.IntrSend, dvm.IntrSendFront:
+		return s.doSend(t, in, args)
+	case dvm.IntrFork:
+		return s.doFork(t, args)
+	case dvm.IntrJoin:
+		return s.doJoin(t, args)
+	case dvm.IntrLock:
+		return s.doLock(t, args)
+	case dvm.IntrUnlock:
+		return s.doUnlock(t, args)
+	case dvm.IntrWait:
+		return s.doWait(t, args)
+	case dvm.IntrNotify:
+		return s.doNotify(t, args)
+	case dvm.IntrRegister:
+		return s.doRegister(t, args)
+	case dvm.IntrFire:
+		return s.doFire(t, c, args)
+	case dvm.IntrRPC:
+		return s.doRPC(t, args)
+	case dvm.IntrMsgSend:
+		return s.doMsgSend(t, args)
+	case dvm.IntrMsgRecv:
+		return s.doMsgRecv(t, args)
+	case dvm.IntrSleep:
+		return s.doSleep(t, args)
+	case dvm.IntrSpin:
+		return s.doSpin(args)
+	case dvm.IntrSelf:
+		return dvm.Int64(int64(t.id)), false, nil
+	default:
+		return dvm.Value{}, false, fmt.Errorf("sim: unimplemented intrinsic %s", in)
+	}
+}
+
+func wantInt(args []dvm.Value, i int, what string) (int64, error) {
+	if i >= len(args) || args[i].Kind != dvm.KInt {
+		return 0, fmt.Errorf("sim: %s must be an int", what)
+	}
+	return args[i].Int, nil
+}
+
+func wantObj(args []dvm.Value, i int, what string) (trace.ObjID, error) {
+	if i >= len(args) || args[i].Kind != dvm.KObj {
+		return 0, fmt.Errorf("sim: %s must be an object", what)
+	}
+	if args[i].Obj == trace.NullObj {
+		return 0, fmt.Errorf("sim: %s is null", what)
+	}
+	return args[i].Obj, nil
+}
+
+func (s *System) wantMethod(args []dvm.Value, i int, what string) (*dvm.Method, error) {
+	if i >= len(args) || args[i].Kind != dvm.KMethod {
+		return nil, fmt.Errorf("sim: %s must be a method handle", what)
+	}
+	idx := args[i].Method
+	if idx < 0 || idx >= len(s.prog.Methods) {
+		return nil, fmt.Errorf("sim: %s: bad method handle %d", what, idx)
+	}
+	m := s.prog.Methods[idx]
+	if m.NumParams > 1 {
+		return nil, fmt.Errorf("sim: handler %s must take 0 or 1 params", m.Name)
+	}
+	return m, nil
+}
+
+func (s *System) looperByHandle(h int64) (*Looper, error) {
+	l, ok := s.loopersByQ[trace.QueueID(h)]
+	if !ok {
+		return nil, fmt.Errorf("sim: bad queue handle %d", h)
+	}
+	return l, nil
+}
+
+// doSend implements send(queue, method, delay, arg) and
+// sendFront(queue, method, arg).
+func (s *System) doSend(t *Task, in dvm.Intrinsic, args []dvm.Value) (dvm.Value, bool, error) {
+	qh, err := wantInt(args, 0, "send queue")
+	if err != nil {
+		return dvm.Value{}, false, err
+	}
+	l, err := s.looperByHandle(qh)
+	if err != nil {
+		return dvm.Value{}, false, err
+	}
+	m, err := s.wantMethod(args, 1, "send handler")
+	if err != nil {
+		return dvm.Value{}, false, err
+	}
+	var delay int64
+	var arg dvm.Value
+	if in == dvm.IntrSend {
+		delay, err = wantInt(args, 2, "send delay")
+		if err != nil {
+			return dvm.Value{}, false, err
+		}
+		if delay < 0 {
+			return dvm.Value{}, false, fmt.Errorf("sim: negative send delay %d", delay)
+		}
+		arg = args[3]
+	} else {
+		arg = args[2]
+	}
+	ev := s.allocTask(m.Name, trace.KindEvent, l.proc)
+	ev.looper = l
+	s.tracer.DeclareTask(trace.TaskInfo{
+		ID: ev.id, Kind: trace.KindEvent, Name: m.Name,
+		Looper: l.thread.id, Queue: l.qid, Proc: l.proc,
+	})
+	s.enqSeq++
+	if in == dvm.IntrSend {
+		if s.cfg.DelayEvent != nil {
+			delay += s.cfg.DelayEvent(m.Name)
+		}
+		s.emit(trace.Entry{Task: t.id, Op: trace.OpSend, Target: ev.id, Queue: l.qid, Delay: delay})
+		l.queue.pushBack(queuedEvent{task: ev, method: m, arg: arg, when: s.now + delay, seq: s.enqSeq})
+	} else {
+		s.emit(trace.Entry{Task: t.id, Op: trace.OpSendAtFront, Target: ev.id, Queue: l.qid})
+		l.queue.pushFront(queuedEvent{task: ev, method: m, arg: arg, when: s.now, seq: s.enqSeq})
+	}
+	return dvm.Value{}, false, nil
+}
+
+// doFork implements fork(method, arg) -> thread handle.
+func (s *System) doFork(t *Task, args []dvm.Value) (dvm.Value, bool, error) {
+	m, err := s.wantMethod(args, 0, "fork entry")
+	if err != nil {
+		return dvm.Value{}, false, err
+	}
+	nt := s.allocTask("thread:"+m.Name, trace.KindThread, t.proc)
+	s.tracer.DeclareTask(trace.TaskInfo{ID: nt.id, Kind: trace.KindThread, Name: nt.name, Proc: t.proc})
+	ctx, err := s.newContext(nt, m, args[1])
+	if err != nil {
+		return dvm.Value{}, false, err
+	}
+	nt.ctx = ctx
+	s.startOrDelay(nt, m.Name)
+	s.emit(trace.Entry{Task: t.id, Op: trace.OpFork, Target: nt.id})
+	return dvm.Int64(int64(nt.id)), false, nil
+}
+
+// doJoin implements join(threadHandle); the join entry is emitted when
+// the join completes so the end(u) ≺ join(t,u) rule holds in trace
+// order.
+func (s *System) doJoin(t *Task, args []dvm.Value) (dvm.Value, bool, error) {
+	h, err := wantInt(args, 0, "join target")
+	if err != nil {
+		return dvm.Value{}, false, err
+	}
+	target := s.tasks[trace.TaskID(h)]
+	if target == nil || target.kind != trace.KindThread || target.isLooperThread {
+		return dvm.Value{}, false, fmt.Errorf("sim: join on bad thread handle %d", h)
+	}
+	if target.state == tsDone || target.state == tsCrashed {
+		s.emit(trace.Entry{Task: t.id, Op: trace.OpJoin, Target: target.id})
+		return dvm.Int64(0), false, nil
+	}
+	target.joiners = append(target.joiners, t)
+	t.state = tsBlocked
+	t.blockedOn = fmt.Sprintf("join t%d", target.id)
+	return dvm.Value{}, true, nil
+}
+
+// doLock implements reentrant monitor-enter. Lock/unlock entries are
+// emitted only at the outermost transition, which is what the lockset
+// check consumes.
+func (s *System) doLock(t *Task, args []dvm.Value) (dvm.Value, bool, error) {
+	obj, err := wantObj(args, 0, "lock object")
+	if err != nil {
+		return dvm.Value{}, false, err
+	}
+	ls := s.locks[obj]
+	if ls == nil {
+		ls = &lockState{}
+		s.locks[obj] = ls
+	}
+	switch {
+	case ls.holder == nil:
+		ls.holder = t
+		ls.depth = 1
+		s.emit(trace.Entry{Task: t.id, Op: trace.OpLock, Lock: trace.LockID(obj)})
+		return dvm.Value{}, false, nil
+	case ls.holder == t:
+		ls.depth++
+		return dvm.Value{}, false, nil
+	default:
+		ls.waiters = append(ls.waiters, t)
+		t.state = tsBlocked
+		t.blockedOn = fmt.Sprintf("lock o%d (held by t%d)", obj, ls.holder.id)
+		return dvm.Value{}, true, nil
+	}
+}
+
+// doUnlock implements monitor-exit, granting the lock FIFO.
+func (s *System) doUnlock(t *Task, args []dvm.Value) (dvm.Value, bool, error) {
+	obj, err := wantObj(args, 0, "unlock object")
+	if err != nil {
+		return dvm.Value{}, false, err
+	}
+	ls := s.locks[obj]
+	if ls == nil || ls.holder != t {
+		return dvm.Value{}, false, fmt.Errorf("sim: unlock of o%d not held by t%d", obj, t.id)
+	}
+	ls.depth--
+	if ls.depth > 0 {
+		return dvm.Value{}, false, nil
+	}
+	s.emit(trace.Entry{Task: t.id, Op: trace.OpUnlock, Lock: trace.LockID(obj)})
+	ls.holder = nil
+	if len(ls.waiters) > 0 {
+		w := ls.waiters[0]
+		ls.waiters = ls.waiters[1:]
+		ls.holder = w
+		ls.depth = 1
+		s.emit(trace.Entry{Task: w.id, Op: trace.OpLock, Lock: trace.LockID(obj)})
+		s.wake(w, dvm.Value{})
+	}
+	return dvm.Value{}, false, nil
+}
+
+// doWait parks the task on a monitor; the wait entry is emitted at
+// wake-up so notify ≺ wait holds in trace order.
+func (s *System) doWait(t *Task, args []dvm.Value) (dvm.Value, bool, error) {
+	obj, err := wantObj(args, 0, "wait monitor")
+	if err != nil {
+		return dvm.Value{}, false, err
+	}
+	s.monitors[obj] = append(s.monitors[obj], t)
+	t.state = tsBlocked
+	t.blockedOn = fmt.Sprintf("wait o%d", obj)
+	return dvm.Value{}, true, nil
+}
+
+// doNotify wakes all waiters (notifyAll semantics).
+func (s *System) doNotify(t *Task, args []dvm.Value) (dvm.Value, bool, error) {
+	obj, err := wantObj(args, 0, "notify monitor")
+	if err != nil {
+		return dvm.Value{}, false, err
+	}
+	s.emit(trace.Entry{Task: t.id, Op: trace.OpNotify, Monitor: trace.MonitorID(obj)})
+	waiters := s.monitors[obj]
+	delete(s.monitors, obj)
+	for _, w := range waiters {
+		s.emit(trace.Entry{Task: w.id, Op: trace.OpWait, Monitor: trace.MonitorID(obj)})
+		s.wake(w, dvm.Value{})
+	}
+	return dvm.Value{}, false, nil
+}
+
+// instrumentedListener reports whether a listener handle falls in the
+// framework packages CAFA instruments.
+func instrumentedListener(h int64) bool { return h < UninstrumentedListenerBase }
+
+// doRegister implements register(listener, method).
+func (s *System) doRegister(t *Task, args []dvm.Value) (dvm.Value, bool, error) {
+	lid, err := wantInt(args, 0, "listener id")
+	if err != nil {
+		return dvm.Value{}, false, err
+	}
+	m, err := s.wantMethod(args, 1, "listener handler")
+	if err != nil {
+		return dvm.Value{}, false, err
+	}
+	s.listeners[lid] = append(s.listeners[lid], listenerEntry{method: m})
+	if instrumentedListener(lid) {
+		s.emit(trace.Entry{Task: t.id, Op: trace.OpRegister, Listener: trace.ListenerID(lid)})
+	}
+	return dvm.Value{}, false, nil
+}
+
+// doFire performs all handlers registered for a listener inline in the
+// current task (the Android pattern of framework code invoking
+// registered callbacks during event processing).
+func (s *System) doFire(t *Task, c *dvm.Context, args []dvm.Value) (dvm.Value, bool, error) {
+	lid, err := wantInt(args, 0, "listener id")
+	if err != nil {
+		return dvm.Value{}, false, err
+	}
+	arg := args[1]
+	regs := s.listeners[lid]
+	// Push in reverse so handlers execute in registration order.
+	for i := len(regs) - 1; i >= 0; i-- {
+		m := regs[i].method
+		if instrumentedListener(lid) {
+			s.emit(trace.Entry{Task: t.id, Op: trace.OpPerform, Listener: trace.ListenerID(lid)})
+		}
+		var callArgs []dvm.Value
+		if m.NumParams == 1 {
+			callArgs = []dvm.Value{arg}
+		}
+		if err := c.PushCall(m, callArgs); err != nil {
+			return dvm.Value{}, false, err
+		}
+	}
+	return dvm.Value{}, false, nil
+}
+
+// doRPC implements a Binder transaction: the call blocks the client,
+// a fresh binder thread in the service's process runs the handler, and
+// the reply resumes the client with the handler's return value. The
+// four transaction entries let the offline analyzer stitch causality
+// across process boundaries (§5.2).
+func (s *System) doRPC(t *Task, args []dvm.Value) (dvm.Value, bool, error) {
+	h, err := wantInt(args, 0, "rpc service")
+	if err != nil {
+		return dvm.Value{}, false, err
+	}
+	if h < 1 || int(h) > len(s.services) {
+		return dvm.Value{}, false, fmt.Errorf("sim: bad service handle %d", h)
+	}
+	svc := s.services[h-1]
+	m, err := s.wantMethod(args, 1, "rpc handler")
+	if err != nil {
+		return dvm.Value{}, false, err
+	}
+	txn := s.nextTxn
+	s.nextTxn++
+	s.emit(trace.Entry{Task: t.id, Op: trace.OpRPCCall, Txn: txn})
+	bt := s.allocTask(fmt.Sprintf("binder:%s.%s", svc.name, m.Name), trace.KindThread, svc.proc)
+	s.tracer.DeclareTask(trace.TaskInfo{ID: bt.id, Kind: trace.KindThread, Name: bt.name, Proc: svc.proc})
+	ctx, err := s.newContext(bt, m, args[2])
+	if err != nil {
+		return dvm.Value{}, false, err
+	}
+	bt.ctx = ctx
+	bt.state = tsReady
+	s.pushReady(bt)
+	bt.rpcClient = t
+	bt.rpcTxn = txn
+	t.state = tsBlocked
+	t.blockedOn = fmt.Sprintf("rpc txn%d to %s", txn, svc.name)
+	return dvm.Value{}, true, nil
+}
+
+// doMsgSend implements the one-way pipe IPC: each message carries a
+// unique id the analyzer correlates into a happens-before edge.
+func (s *System) doMsgSend(t *Task, args []dvm.Value) (dvm.Value, bool, error) {
+	h, err := wantInt(args, 0, "channel")
+	if err != nil {
+		return dvm.Value{}, false, err
+	}
+	if h < 1 || int(h) > len(s.channels) {
+		return dvm.Value{}, false, fmt.Errorf("sim: bad channel handle %d", h)
+	}
+	ch := s.channels[h-1]
+	txn := s.nextTxn
+	s.nextTxn++
+	s.emit(trace.Entry{Task: t.id, Op: trace.OpMsgSend, Txn: txn})
+	if len(ch.waiters) > 0 {
+		w := ch.waiters[0]
+		ch.waiters = ch.waiters[1:]
+		s.emit(trace.Entry{Task: w.id, Op: trace.OpMsgRecv, Txn: txn})
+		s.wake(w, args[1])
+		return dvm.Value{}, false, nil
+	}
+	ch.buf = append(ch.buf, channelMsg{val: args[1], txn: txn})
+	return dvm.Value{}, false, nil
+}
+
+// doMsgRecv blocks until a message is available.
+func (s *System) doMsgRecv(t *Task, args []dvm.Value) (dvm.Value, bool, error) {
+	h, err := wantInt(args, 0, "channel")
+	if err != nil {
+		return dvm.Value{}, false, err
+	}
+	if h < 1 || int(h) > len(s.channels) {
+		return dvm.Value{}, false, fmt.Errorf("sim: bad channel handle %d", h)
+	}
+	ch := s.channels[h-1]
+	if len(ch.buf) > 0 {
+		msg := ch.buf[0]
+		ch.buf = ch.buf[1:]
+		s.emit(trace.Entry{Task: t.id, Op: trace.OpMsgRecv, Txn: msg.txn})
+		return msg.val, false, nil
+	}
+	ch.waiters = append(ch.waiters, t)
+	t.state = tsBlocked
+	t.blockedOn = fmt.Sprintf("msg-recv ch%d", h)
+	return dvm.Value{}, true, nil
+}
+
+// doSleep suspends the task for a stretch of virtual time.
+func (s *System) doSleep(t *Task, args []dvm.Value) (dvm.Value, bool, error) {
+	ms, err := wantInt(args, 0, "sleep duration")
+	if err != nil {
+		return dvm.Value{}, false, err
+	}
+	if ms <= 0 {
+		return dvm.Value{}, false, nil
+	}
+	t.state = tsSleeping
+	t.wakeAt = s.now + ms
+	t.blockedOn = fmt.Sprintf("sleep until %d", t.wakeAt)
+	s.sleepers = append(s.sleepers, t)
+	return dvm.Value{}, true, nil
+}
+
+// spinSink defeats dead-code elimination in doSpin.
+var spinSink uint64
+
+// doSpin burns host CPU proportional to n — the simulated
+// "application work" whose dilation Fig. 8 measures.
+func (s *System) doSpin(args []dvm.Value) (dvm.Value, bool, error) {
+	n, err := wantInt(args, 0, "spin count")
+	if err != nil {
+		return dvm.Value{}, false, err
+	}
+	acc := spinSink
+	for i := int64(0); i < n*64; i++ {
+		acc = acc*6364136223846793005 + 1442695040888963407
+	}
+	spinSink = acc
+	return dvm.Value{}, false, nil
+}

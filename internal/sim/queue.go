@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"math"
+
+	"cafa/internal/dvm"
+)
+
+// queuedEvent is one pending event in a queue.
+type queuedEvent struct {
+	task   *Task
+	method *dvm.Method
+	arg    dvm.Value
+	// when is the earliest virtual time the event may be processed
+	// (enqueue time + delay).
+	when int64
+	seq  uint64 // global enqueue sequence for FIFO stability
+}
+
+// eventQueue models the Android MessageQueue: messages sorted by their
+// ready time (stable on ties), except sendAtFront messages, which are
+// pushed at the head — so the most recent sendAtFront is frontmost
+// (LIFO among fronts), matching the AOSP head-insertion behaviour the
+// paper's queue rules 2 and 4 rely on.
+type eventQueue struct {
+	front  []queuedEvent // stack: last element is the queue head
+	sorted []queuedEvent // ascending (when, seq)
+}
+
+// pushBack inserts a normal send: stable sorted insert by ready time.
+func (q *eventQueue) pushBack(ev queuedEvent) {
+	i := len(q.sorted)
+	for i > 0 && q.sorted[i-1].when > ev.when {
+		i--
+	}
+	q.sorted = append(q.sorted, queuedEvent{})
+	copy(q.sorted[i+1:], q.sorted[i:])
+	q.sorted[i] = ev
+}
+
+// pushFront inserts a sendAtFront message at the head.
+func (q *eventQueue) pushFront(ev queuedEvent) {
+	q.front = append(q.front, ev)
+}
+
+// empty reports whether no events are pending.
+func (q *eventQueue) empty() bool { return len(q.front) == 0 && len(q.sorted) == 0 }
+
+// readyAt returns the earliest time the head event can be popped, or
+// math.MaxInt64 when the queue is empty.
+func (q *eventQueue) readyAt() int64 {
+	if len(q.front) > 0 {
+		return 0 // front messages are immediately eligible
+	}
+	if len(q.sorted) > 0 {
+		return q.sorted[0].when
+	}
+	return math.MaxInt64
+}
+
+// pop removes the head event if it is eligible at time now.
+func (q *eventQueue) pop(now int64) (queuedEvent, bool) {
+	if n := len(q.front); n > 0 {
+		ev := q.front[n-1]
+		q.front = q.front[:n-1]
+		return ev, true
+	}
+	if len(q.sorted) > 0 && q.sorted[0].when <= now {
+		ev := q.sorted[0]
+		q.sorted = q.sorted[1:]
+		return ev, true
+	}
+	return queuedEvent{}, false
+}
+
+// size returns the number of pending events.
+func (q *eventQueue) size() int { return len(q.front) + len(q.sorted) }

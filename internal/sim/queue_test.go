@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"cafa/internal/dvm"
+)
+
+// refQueue is a simple reference model: a slice kept in the exact
+// order Android's MessageQueue would deliver (head insertion for
+// fronts, stable sort by ready time otherwise).
+type refQueue struct {
+	items []queuedEvent
+}
+
+func (r *refQueue) pushBack(ev queuedEvent) {
+	i := len(r.items)
+	for i > 0 && !r.items[i-1].frontFlag() && r.items[i-1].when > ev.when {
+		i--
+	}
+	r.items = append(r.items, queuedEvent{})
+	copy(r.items[i+1:], r.items[i:])
+	r.items[i] = ev
+}
+
+func (r *refQueue) pushFront(ev queuedEvent) {
+	ev.seq |= refFrontBit
+	r.items = append([]queuedEvent{ev}, r.items...)
+}
+
+const refFrontBit = uint64(1) << 63
+
+func (ev queuedEvent) frontFlag() bool { return ev.seq&refFrontBit != 0 }
+
+func (r *refQueue) pop(now int64) (queuedEvent, bool) {
+	if len(r.items) == 0 {
+		return queuedEvent{}, false
+	}
+	head := r.items[0]
+	if !head.frontFlag() && head.when > now {
+		return queuedEvent{}, false
+	}
+	r.items = r.items[1:]
+	head.seq &^= refFrontBit
+	return head, true
+}
+
+func TestQueueMatchesReferenceModel(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 300; iter++ {
+		var q eventQueue
+		var ref refQueue
+		now := int64(0)
+		seq := uint64(0)
+		for step := 0; step < 40; step++ {
+			switch r.Intn(4) {
+			case 0, 1: // send with random delay
+				seq++
+				ev := queuedEvent{task: &Task{id: 1000 + 1}, when: now + int64(r.Intn(5)), seq: seq}
+				ev.arg = dvm.Int64(int64(seq))
+				q.pushBack(ev)
+				ref.pushBack(ev)
+			case 2: // sendAtFront
+				seq++
+				ev := queuedEvent{task: &Task{id: 1000 + 1}, when: now, seq: seq}
+				ev.arg = dvm.Int64(int64(seq))
+				q.pushFront(ev)
+				ref.pushFront(ev)
+			case 3: // pop (and occasionally advance time)
+				if r.Intn(2) == 0 {
+					now++
+				}
+				got, okG := q.pop(now)
+				want, okR := ref.pop(now)
+				if okG != okR {
+					t.Fatalf("iter %d step %d: pop disagreement: impl=%v ref=%v", iter, step, okG, okR)
+				}
+				if okG && got.arg.Int != want.arg.Int {
+					t.Fatalf("iter %d step %d: popped %d, reference %d", iter, step, got.arg.Int, want.arg.Int)
+				}
+			}
+		}
+		// Drain both at a far-future time; orders must agree exactly.
+		now += 1000
+		for {
+			got, okG := q.pop(now)
+			want, okR := ref.pop(now)
+			if okG != okR {
+				t.Fatalf("iter %d drain: availability disagreement", iter)
+			}
+			if !okG {
+				break
+			}
+			if got.arg.Int != want.arg.Int {
+				t.Fatalf("iter %d drain: popped %d, reference %d", iter, got.arg.Int, want.arg.Int)
+			}
+		}
+		if !q.empty() {
+			t.Fatalf("iter %d: queue not empty after drain", iter)
+		}
+	}
+}
+
+func TestQueueReadyAt(t *testing.T) {
+	var q eventQueue
+	if !q.empty() || q.size() != 0 {
+		t.Error("fresh queue not empty")
+	}
+	q.pushBack(queuedEvent{when: 50, seq: 1})
+	if got := q.readyAt(); got != 50 {
+		t.Errorf("readyAt = %d, want 50", got)
+	}
+	q.pushBack(queuedEvent{when: 30, seq: 2})
+	if got := q.readyAt(); got != 30 {
+		t.Errorf("readyAt = %d, want 30 after earlier event", got)
+	}
+	q.pushFront(queuedEvent{when: 99, seq: 3})
+	if got := q.readyAt(); got != 0 {
+		t.Errorf("readyAt = %d, want 0 with a front message", got)
+	}
+	if q.size() != 3 {
+		t.Errorf("size = %d, want 3", q.size())
+	}
+	// Fronts pop LIFO before any sorted event.
+	q.pushFront(queuedEvent{when: 98, seq: 4})
+	ev, ok := q.pop(0)
+	if !ok || ev.seq != 4 {
+		t.Errorf("pop = %v/%v, want front seq 4", ev.seq, ok)
+	}
+	ev, ok = q.pop(0)
+	if !ok || ev.seq != 3 {
+		t.Errorf("pop = %v/%v, want front seq 3", ev.seq, ok)
+	}
+	// Sorted event not ready yet.
+	if _, ok := q.pop(10); ok {
+		t.Error("popped an event before its ready time")
+	}
+	ev, ok = q.pop(30)
+	if !ok || ev.seq != 2 {
+		t.Errorf("pop = %v/%v, want seq 2 at t=30", ev.seq, ok)
+	}
+}

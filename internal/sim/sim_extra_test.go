@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"cafa/internal/asm"
+	"cafa/internal/dvm"
+	"cafa/internal/trace"
+)
+
+const rpcCrashSrc = `
+.method onBind(arg) regs=2
+    throw-npe
+    return-void
+.end
+
+.method main(svc) regs=5
+    const-method v1, onBind
+    const-null v2
+    rpc svc, v1, v2 -> v3
+    if-eqz v3, gotNull
+    return-void
+gotNull:
+    const-int v4, #1
+    sput-int v4, sawNull
+    return-void
+.end
+`
+
+func TestRPCServerCrashYieldsNullReply(t *testing.T) {
+	s, tr := runSrc(t, rpcCrashSrc, func(s *System, p *dvm.Program) {
+		svc := s.AddService("Svc", 1)
+		if _, err := s.StartThread("main", "main", dvm.Int64(svc)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := s.Heap().GetStatic(s.Program().FieldID("sawNull"), dvm.KInt); got.Int != 1 {
+		t.Error("crashed RPC handler should reply null")
+	}
+	if len(s.Crashes()) != 1 {
+		t.Errorf("crashes = %d, want 1 (the binder thread)", len(s.Crashes()))
+	}
+	// The reply/ret entries still exist so causality is preserved.
+	if len(findOps(tr, trace.OpRPCReply)) != 1 || len(findOps(tr, trace.OpRPCRet)) != 1 {
+		t.Error("rpc reply/ret entries missing after server crash")
+	}
+}
+
+const multiListenerSrc = `
+.method cb1(arg) regs=2
+    sget-int v1, order
+    const-int v0, #10
+    add-int v1, v1, v0
+    sput-int v1, order
+    return-void
+.end
+
+.method cb2(arg) regs=3
+    sget-int v1, order
+    const-int v2, #3
+    mul-int v1, v1, v2
+    sput-int v1, order
+    return-void
+.end
+
+.method main(arg) regs=4
+    const-int v1, #5
+    const-method v2, cb1
+    register v1, v2
+    const-method v2, cb2
+    register v1, v2
+    const-null v3
+    fire v1, v3
+    return-void
+.end
+`
+
+func TestMultipleListenersRunInRegistrationOrder(t *testing.T) {
+	s, tr := runSrc(t, multiListenerSrc, func(s *System, p *dvm.Program) {
+		l := s.AddLooper("main", 0)
+		if err := s.Inject(0, l, "main", dvm.Null(), 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// order starts 0: cb1 adds 10 (=10), cb2 multiplies by 3 (=30).
+	// Reversed order would give 0*3+10 = 10.
+	if got := s.Heap().GetStatic(s.Program().FieldID("order"), dvm.KInt); got.Int != 30 {
+		t.Errorf("order = %d, want 30 (registration order)", got.Int)
+	}
+	if performs := findOps(tr, trace.OpPerform); len(performs) != 2 {
+		t.Errorf("perform entries = %d, want 2", len(performs))
+	}
+}
+
+const bufferedChannelSrc = `
+.method producer(ch) regs=4
+    const-int v1, #1
+    msg-send ch, v1
+    const-int v1, #2
+    msg-send ch, v1
+    const-int v1, #3
+    msg-send ch, v1
+    return-void
+.end
+
+.method consumer(ch) regs=6
+    const-int v4, #20
+    sleep v4
+    msg-recv ch -> v1
+    msg-recv ch -> v2
+    msg-recv ch -> v3
+    const-int v5, #100
+    mul-int v1, v1, v5
+    add-int v1, v1, v2
+    mul-int v1, v1, v5
+    add-int v1, v1, v3
+    sput-int v1, combined
+    return-void
+.end
+`
+
+func TestBufferedChannelPreservesFIFO(t *testing.T) {
+	var ch int64
+	s, _ := runSrc(t, bufferedChannelSrc, func(s *System, p *dvm.Program) {
+		ch = s.AddChannel()
+		if _, err := s.StartThread("prod", "producer", dvm.Int64(ch)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.StartThread("cons", "consumer", dvm.Int64(ch)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 1,2,3 in order → ((1*100)+2)*100+3 = 10203.
+	if got := s.Heap().GetStatic(s.Program().FieldID("combined"), dvm.KInt); got.Int != 10203 {
+		t.Errorf("combined = %d, want 10203 (FIFO delivery)", got.Int)
+	}
+}
+
+func TestMaxStepsEnforced(t *testing.T) {
+	src := `
+.method main(arg) regs=2
+loop:
+    goto loop
+.end
+`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSystem(p, Config{MaxSteps: 1000})
+	if _, err := s.StartThread("main", "main", dvm.Null()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != ErrMaxSteps {
+		t.Errorf("Run = %v, want ErrMaxSteps", err)
+	}
+}
+
+func TestCaughtNPEsRecorded(t *testing.T) {
+	src := `
+.method main(arg) regs=2
+    try handler
+    throw-npe
+    end-try
+    return-void
+handler:
+    return-void
+.end
+`
+	s, _ := runSrc(t, src, func(s *System, p *dvm.Program) {
+		if _, err := s.StartThread("main", "main", dvm.Null()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if len(s.Crashes()) != 0 {
+		t.Error("caught NPE must not be a crash")
+	}
+	caught := s.CaughtNPEs()
+	if len(caught) != 1 {
+		t.Fatalf("caught NPEs = %d, want 1", len(caught))
+	}
+	if !strings.Contains(caught[0].Err.Error(), "NullPointerException") {
+		t.Errorf("caught = %v", caught[0])
+	}
+}
+
+func TestDelayThreadBias(t *testing.T) {
+	src := `
+.method first(arg) regs=2
+    sget-int v1, mark
+    const-int v0, #1
+    add-int v1, v1, v0
+    sput-int v1, mark
+    return-void
+.end
+
+.method second(arg) regs=3
+    sget-int v1, mark
+    const-int v2, #10
+    mul-int v1, v1, v2
+    sput-int v1, mark
+    return-void
+.end
+`
+	run := func(delaySecond bool) int64 {
+		p, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Seed: 1}
+		if delaySecond {
+			cfg.DelayThread = func(m string) int64 {
+				if m == "first" {
+					return 50
+				}
+				return 0
+			}
+		}
+		s := NewSystem(p, cfg)
+		if _, err := s.StartThread("a", "first", dvm.Null()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.StartThread("b", "second", dvm.Null()); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s.Heap().GetStatic(p.FieldID("mark"), dvm.KInt).Int
+	}
+	// Delayed "first": second runs first → 0*10=0, then +1 → 1.
+	if got := run(true); got != 1 {
+		t.Errorf("biased run mark = %d, want 1", got)
+	}
+}
+
+func TestLooperAtAndHandles(t *testing.T) {
+	p, err := asm.Assemble(loopbackSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSystem(p, Config{})
+	if s.LooperAt(0) != nil {
+		t.Error("LooperAt on empty system should be nil")
+	}
+	l := s.AddLooper("main", 0)
+	if s.LooperAt(0) != l || s.LooperAt(1) != nil || s.LooperAt(-1) != nil {
+		t.Error("LooperAt indexing wrong")
+	}
+	if l.Handle() != int64(l.Queue()) {
+		t.Error("handle must equal queue id")
+	}
+	if l.Pending() != 0 {
+		t.Error("fresh queue should be empty")
+	}
+}
+
+func TestDeviceSinkCountsAndBytes(t *testing.T) {
+	p, err := asm.Assemble(loopbackSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := trace.NewDeviceSink()
+	s := NewSystem(p, Config{Tracer: sink})
+	l := s.AddLooper("main", 0)
+	if err := s.Inject(0, l, "onA", dvm.Null(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Entries() == 0 {
+		t.Error("device sink saw no entries")
+	}
+	if sink.Bytes() == 0 {
+		t.Error("device sink wrote no bytes")
+	}
+}

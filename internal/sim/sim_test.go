@@ -1,0 +1,710 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cafa/internal/asm"
+	"cafa/internal/dvm"
+	"cafa/internal/trace"
+)
+
+// runSrc assembles src, applies build to wire the system, runs it, and
+// returns the system and its trace.
+func runSrc(t *testing.T, src string, build func(s *System, p *dvm.Program)) (*System, *trace.Trace) {
+	t.Helper()
+	return runSrcSeed(t, src, 1, build)
+}
+
+func runSrcSeed(t *testing.T, src string, seed uint64, build func(s *System, p *dvm.Program)) (*System, *trace.Trace) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := trace.NewCollector()
+	s := NewSystem(p, Config{Tracer: col, Seed: seed})
+	build(s, p)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.T.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	return s, col.T
+}
+
+// opsOf extracts (op, taskName) pairs for inspection.
+func findOps(tr *trace.Trace, op trace.Op) []trace.Entry {
+	var out []trace.Entry
+	for _, e := range tr.Entries {
+		if e.Op == op {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// eventOrder returns the names of event tasks in begin order.
+func eventOrder(tr *trace.Trace) []string {
+	var names []string
+	for _, e := range tr.Entries {
+		if e.Op == trace.OpBegin && tr.IsEventTask(e.Task) {
+			names = append(names, tr.TaskName(e.Task))
+		}
+	}
+	return names
+}
+
+const loopbackSrc = `
+.method onA(arg) regs=2
+    const-int v1, #1
+    sput-int v1, sawA
+    return-void
+.end
+
+.method onB(arg) regs=2
+    const-int v1, #1
+    sput-int v1, sawB
+    return-void
+.end
+`
+
+func TestExternalEventRuns(t *testing.T) {
+	s, tr := runSrc(t, loopbackSrc, func(s *System, p *dvm.Program) {
+		l := s.AddLooper("main", 0)
+		if err := s.Inject(0, l, "onA", dvm.Null(), 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := s.Heap().GetStatic(s.Program().FieldID("sawA"), dvm.KInt); got.Int != 1 {
+		t.Error("handler did not run")
+	}
+	begins := findOps(tr, trace.OpBegin)
+	var evBegin *trace.Entry
+	for i := range begins {
+		if tr.IsEventTask(begins[i].Task) {
+			evBegin = &begins[i]
+		}
+	}
+	if evBegin == nil {
+		t.Fatal("no event begin entry")
+	}
+	if !evBegin.External {
+		t.Error("externally injected event not marked external")
+	}
+	if len(findOps(tr, trace.OpSend)) != 0 {
+		t.Error("external events must not have send entries")
+	}
+	if tr.EventCount() != 1 {
+		t.Errorf("EventCount = %d, want 1", tr.EventCount())
+	}
+}
+
+const senderSrc = `
+.method onA(arg) regs=1
+    return-void
+.end
+
+.method onB(arg) regs=1
+    return-void
+.end
+
+.method sender(q) regs=5
+    const-method v1, onA
+    const-method v2, onB
+    const-null v3
+    const-int v4, #0
+    send q, v1, v4, v3
+    send q, v2, v4, v3
+    return-void
+.end
+`
+
+func TestFIFOSameDelay(t *testing.T) {
+	// Figure 4b: two sends, same delay → A before B, every seed.
+	for seed := uint64(1); seed <= 5; seed++ {
+		_, tr := runSrcSeed(t, senderSrc, seed, func(s *System, p *dvm.Program) {
+			l := s.AddLooper("main", 0)
+			if _, err := s.StartThread("T", "sender", dvm.Int64(l.Handle())); err != nil {
+				t.Fatal(err)
+			}
+		})
+		order := eventOrder(tr)
+		if len(order) != 2 || order[0] != "onA" || order[1] != "onB" {
+			t.Fatalf("seed %d: event order %v, want [onA onB]", seed, order)
+		}
+	}
+}
+
+const delaySrc = `
+.method onA(arg) regs=1
+    return-void
+.end
+
+.method onB(arg) regs=1
+    return-void
+.end
+
+.method sender(q) regs=6
+    const-method v1, onA
+    const-method v2, onB
+    const-null v3
+    const-int v4, #5
+    send q, v1, v4, v3    ; A with delay 5
+    const-int v5, #2
+    sleep v5              ; two ms pass
+    const-int v4, #0
+    send q, v2, v4, v3    ; B with delay 0
+    return-void
+.end
+`
+
+func TestDelayReordersEvents(t *testing.T) {
+	// Figure 4c: A sent first with delay 5, B sent at t+2 with delay 0
+	// → B runs before A.
+	_, tr := runSrc(t, delaySrc, func(s *System, p *dvm.Program) {
+		l := s.AddLooper("main", 0)
+		if _, err := s.StartThread("T", "sender", dvm.Int64(l.Handle())); err != nil {
+			t.Fatal(err)
+		}
+	})
+	order := eventOrder(tr)
+	if len(order) != 2 || order[0] != "onB" || order[1] != "onA" {
+		t.Fatalf("event order %v, want [onB onA]", order)
+	}
+}
+
+const frontSrc = `
+.method onA(arg) regs=1
+    return-void
+.end
+
+.method onB(arg) regs=1
+    return-void
+.end
+
+.method onC(q) regs=5
+    const-method v1, onA
+    const-method v2, onB
+    const-null v3
+    const-int v4, #0
+    send q, v1, v4, v3        ; send(A)
+    send-front q, v2, v3      ; sendAtFront(B)
+    return-void
+.end
+`
+
+func TestSendAtFrontFromSameLooper(t *testing.T) {
+	// Figure 4d: C executes on the same looper; its sendAtFront(B) is
+	// guaranteed enqueued before A can run → B before A.
+	for seed := uint64(1); seed <= 5; seed++ {
+		_, tr := runSrcSeed(t, frontSrc, seed, func(s *System, p *dvm.Program) {
+			l := s.AddLooper("main", 0)
+			if err := s.Inject(0, l, "onC", dvm.Int64(l.Handle()), 0); err != nil {
+				t.Fatal(err)
+			}
+		})
+		order := eventOrder(tr)
+		if len(order) != 3 || order[0] != "onC" || order[1] != "onB" || order[2] != "onA" {
+			t.Fatalf("seed %d: event order %v, want [onC onB onA]", seed, order)
+		}
+	}
+}
+
+const forkJoinSrc = `
+.method worker(arg) regs=2
+    const-int v1, #7
+    sput-int v1, fromWorker
+    return-void
+.end
+
+.method main(arg) regs=4
+    const-method v1, worker
+    const-null v2
+    fork v1, v2 -> v3
+    join v3
+    sget-int v1, fromWorker
+    sput-int v1, afterJoin
+    return-void
+.end
+`
+
+func TestForkJoin(t *testing.T) {
+	s, tr := runSrc(t, forkJoinSrc, func(s *System, p *dvm.Program) {
+		if _, err := s.StartThread("main", "main", dvm.Null()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := s.Heap().GetStatic(s.Program().FieldID("afterJoin"), dvm.KInt); got.Int != 7 {
+		t.Errorf("afterJoin = %d, want 7", got.Int)
+	}
+	forks := findOps(tr, trace.OpFork)
+	joins := findOps(tr, trace.OpJoin)
+	if len(forks) != 1 || len(joins) != 1 {
+		t.Fatalf("forks=%d joins=%d", len(forks), len(joins))
+	}
+	// end(u) must precede join(t,u) in trace order.
+	var endSeq, joinSeq int
+	for i, e := range tr.Entries {
+		if e.Op == trace.OpEnd && e.Task == forks[0].Target {
+			endSeq = i
+		}
+		if e.Op == trace.OpJoin {
+			joinSeq = i
+		}
+	}
+	if endSeq > joinSeq {
+		t.Error("join entry precedes target's end entry")
+	}
+}
+
+const lockSrc = `
+.method worker(lk) regs=4
+    lock lk
+    lock lk              ; reentrant
+    sget-int v1, counter
+    const-int v2, #1
+    add-int v1, v1, v2
+    sput-int v1, counter
+    unlock lk
+    unlock lk
+    return-void
+.end
+
+.method main(arg) regs=6
+    new v0, Lock
+    sput v0, theLock
+    const-method v1, worker
+    fork v1, v0 -> v2
+    fork v1, v0 -> v3
+    fork v1, v0 -> v4
+    join v2
+    join v3
+    join v4
+    return-void
+.end
+`
+
+func TestLockMutualExclusionAndReentrancy(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		s, tr := runSrcSeed(t, lockSrc, seed, func(s *System, p *dvm.Program) {
+			if _, err := s.StartThread("main", "main", dvm.Null()); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got := s.Heap().GetStatic(s.Program().FieldID("counter"), dvm.KInt); got.Int != 3 {
+			t.Errorf("seed %d: counter = %d, want 3", seed, got.Int)
+		}
+		// Exactly one lock/unlock pair per worker (reentrancy collapsed).
+		if locks := findOps(tr, trace.OpLock); len(locks) != 3 {
+			t.Errorf("seed %d: lock entries = %d, want 3", seed, len(locks))
+		}
+		if unlocks := findOps(tr, trace.OpUnlock); len(unlocks) != 3 {
+			t.Errorf("seed %d: unlock entries = %d, want 3", seed, len(unlocks))
+		}
+		if s.Deadlocked() {
+			t.Errorf("seed %d: deadlocked: %v", seed, s.BlockedTasks())
+		}
+	}
+}
+
+const waitNotifySrc = `
+.method waiter(mon) regs=3
+    wait mon
+    const-int v1, #1
+    sput-int v1, woke
+    return-void
+.end
+
+.method main(arg) regs=6
+    new v0, Monitor
+    const-method v1, waiter
+    fork v1, v0 -> v2
+    const-int v3, #5
+    sleep v3
+    notify v0
+    join v2
+    return-void
+.end
+`
+
+func TestWaitNotify(t *testing.T) {
+	s, tr := runSrc(t, waitNotifySrc, func(s *System, p *dvm.Program) {
+		if _, err := s.StartThread("main", "main", dvm.Null()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := s.Heap().GetStatic(s.Program().FieldID("woke"), dvm.KInt); got.Int != 1 {
+		t.Error("waiter never woke")
+	}
+	notifies := findOps(tr, trace.OpNotify)
+	waits := findOps(tr, trace.OpWait)
+	if len(notifies) != 1 || len(waits) != 1 {
+		t.Fatalf("notifies=%d waits=%d", len(notifies), len(waits))
+	}
+	// notify must precede wait in trace order (signal-and-wait rule).
+	var ni, wi int
+	for i, e := range tr.Entries {
+		if e.Op == trace.OpNotify {
+			ni = i
+		}
+		if e.Op == trace.OpWait {
+			wi = i
+		}
+	}
+	if ni > wi {
+		t.Error("wait entry precedes notify entry")
+	}
+}
+
+const rpcSrc = `
+.method onBind(arg) regs=2
+    const-int v1, #42
+    return v1
+.end
+
+.method main(svc) regs=5
+    const-method v1, onBind
+    const-null v2
+    rpc svc, v1, v2 -> v3
+    sput-int v3, reply
+    return-void
+.end
+`
+
+func TestRPCRoundTrip(t *testing.T) {
+	var svc int64
+	s, tr := runSrc(t, rpcSrc, func(s *System, p *dvm.Program) {
+		svc = s.AddService("TrackRecordingService", 1)
+		if _, err := s.StartThread("main", "main", dvm.Int64(svc)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := s.Heap().GetStatic(s.Program().FieldID("reply"), dvm.KInt); got.Int != 42 {
+		t.Errorf("reply = %d, want 42", got.Int)
+	}
+	var call, handle, reply, ret int
+	for i, e := range tr.Entries {
+		switch e.Op {
+		case trace.OpRPCCall:
+			call = i
+		case trace.OpRPCHandle:
+			handle = i
+		case trace.OpRPCReply:
+			reply = i
+		case trace.OpRPCRet:
+			ret = i
+		}
+	}
+	if !(call < handle && handle < reply && reply < ret) {
+		t.Errorf("rpc entry order call=%d handle=%d reply=%d ret=%d", call, handle, reply, ret)
+	}
+	// The binder thread must run in the service's process.
+	for _, ti := range tr.Tasks {
+		if strings.HasPrefix(ti.Name, "binder:") && ti.Proc != 1 {
+			t.Errorf("binder thread in proc %d, want 1", ti.Proc)
+		}
+	}
+}
+
+const msgSrc = `
+.method producer(ch) regs=4
+    const-int v1, #99
+    msg-send ch, v1
+    return-void
+.end
+
+.method consumer(ch) regs=3
+    msg-recv ch -> v1
+    sput-int v1, got
+    return-void
+.end
+`
+
+func TestMessageChannelBothOrders(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		var ch int64
+		s, tr := runSrcSeed(t, msgSrc, seed, func(s *System, p *dvm.Program) {
+			ch = s.AddChannel()
+			if _, err := s.StartThread("prod", "producer", dvm.Int64(ch)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.StartThread("cons", "consumer", dvm.Int64(ch)); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got := s.Heap().GetStatic(s.Program().FieldID("got"), dvm.KInt); got.Int != 99 {
+			t.Fatalf("seed %d: got = %d, want 99", seed, got.Int)
+		}
+		var si, ri = -1, -1
+		for i, e := range tr.Entries {
+			if e.Op == trace.OpMsgSend {
+				si = i
+			}
+			if e.Op == trace.OpMsgRecv {
+				ri = i
+			}
+		}
+		if si < 0 || ri < 0 || si > ri {
+			t.Fatalf("seed %d: msg order send=%d recv=%d", seed, si, ri)
+		}
+	}
+}
+
+const listenerSrc = `
+.method onConnected(arg) regs=2
+    const-int v1, #1
+    sput-int v1, performed
+    return-void
+.end
+
+.method registrar(arg) regs=4
+    const-int v1, #7
+    const-method v2, onConnected
+    register v1, v2
+    return-void
+.end
+
+.method firer(arg) regs=4
+    const-int v1, #7
+    const-null v2
+    fire v1, v2
+    return-void
+.end
+`
+
+func TestListenersInstrumented(t *testing.T) {
+	s, tr := runSrc(t, listenerSrc, func(s *System, p *dvm.Program) {
+		l := s.AddLooper("main", 0)
+		if err := s.Inject(0, l, "registrar", dvm.Null(), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Inject(1, l, "firer", dvm.Null(), 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := s.Heap().GetStatic(s.Program().FieldID("performed"), dvm.KInt); got.Int != 1 {
+		t.Error("listener did not perform")
+	}
+	if len(findOps(tr, trace.OpRegister)) != 1 || len(findOps(tr, trace.OpPerform)) != 1 {
+		t.Error("register/perform entries missing")
+	}
+}
+
+const rawListenerSrc = `
+.method onConnected(arg) regs=2
+    const-int v1, #1
+    sput-int v1, performed
+    return-void
+.end
+
+.method registrar(arg) regs=4
+    const-int v1, #65543     ; >= UninstrumentedListenerBase
+    const-method v2, onConnected
+    register v1, v2
+    return-void
+.end
+
+.method firer(arg) regs=4
+    const-int v1, #65543
+    const-null v2
+    fire v1, v2
+    return-void
+.end
+`
+
+func TestListenersUninstrumented(t *testing.T) {
+	s, tr := runSrc(t, rawListenerSrc, func(s *System, p *dvm.Program) {
+		l := s.AddLooper("main", 0)
+		if err := s.Inject(0, l, "registrar", dvm.Null(), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Inject(1, l, "firer", dvm.Null(), 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := s.Heap().GetStatic(s.Program().FieldID("performed"), dvm.KInt); got.Int != 1 {
+		t.Error("listener did not perform")
+	}
+	if len(findOps(tr, trace.OpRegister)) != 0 || len(findOps(tr, trace.OpPerform)) != 0 {
+		t.Error("uninstrumented listener must not emit register/perform entries")
+	}
+}
+
+const crashSrc = `
+.method onDestroy(this) regs=2
+    const-null v1
+    iput v1, this, providerUtils
+    return-void
+.end
+
+.method onConnected(this) regs=2
+    iget v1, this, providerUtils
+    invoke-virtual onConnected, v1   ; NPE when providerUtils is null
+    return-void
+.end
+`
+
+func TestCrashRecordedAndTraceStaysValid(t *testing.T) {
+	s, tr := runSrc(t, crashSrc, func(s *System, p *dvm.Program) {
+		l := s.AddLooper("main", 0)
+		act := s.Heap().New("Activity")
+		if err := s.Inject(0, l, "onDestroy", dvm.Obj(act.ID), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Inject(1, l, "onConnected", dvm.Obj(act.ID), 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if len(s.Crashes()) != 1 {
+		t.Fatalf("crashes = %v, want 1", s.Crashes())
+	}
+	c := s.Crashes()[0]
+	if !strings.Contains(c.Err.Error(), "NullPointerException") {
+		t.Errorf("crash err = %v", c.Err)
+	}
+	if c.String() == "" {
+		t.Error("empty crash string")
+	}
+	// Even with the crash, every begun task has an end entry.
+	begun := map[trace.TaskID]bool{}
+	for _, e := range tr.Entries {
+		if e.Op == trace.OpBegin {
+			begun[e.Task] = true
+		}
+		if e.Op == trace.OpEnd {
+			delete(begun, e.Task)
+		}
+	}
+	if len(begun) != 0 {
+		t.Errorf("tasks without end entries: %v", begun)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	gen := func(seed uint64) *trace.Trace {
+		_, tr := runSrcSeed(t, lockSrc, seed, func(s *System, p *dvm.Program) {
+			if _, err := s.StartThread("main", "main", dvm.Null()); err != nil {
+				t.Fatal(err)
+			}
+		})
+		return tr
+	}
+	a, b := gen(3), gen(3)
+	var ba, bb bytes.Buffer
+	if err := a.Encode(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Encode(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Error("same seed produced different traces")
+	}
+}
+
+const deadlockSrc = `
+.method main(arg) regs=2
+    new v0, Monitor
+    wait v0
+    return-void
+.end
+`
+
+func TestDeadlockDetected(t *testing.T) {
+	s, _ := runSrc(t, deadlockSrc, func(s *System, p *dvm.Program) {
+		if _, err := s.StartThread("main", "main", dvm.Null()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !s.Deadlocked() {
+		t.Error("deadlock not detected")
+	}
+	if len(s.BlockedTasks()) != 1 {
+		t.Errorf("blocked tasks = %v", s.BlockedTasks())
+	}
+}
+
+const selfSleepSrc = `
+.method main(arg) regs=3
+    self -> v1
+    sput-int v1, myId
+    const-int v2, #50
+    sleep v2
+    const-int v2, #3
+    spin v2
+    return-void
+.end
+`
+
+func TestSelfSleepSpin(t *testing.T) {
+	s, _ := runSrc(t, selfSleepSrc, func(s *System, p *dvm.Program) {
+		if _, err := s.StartThread("main", "main", dvm.Null()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := s.Heap().GetStatic(s.Program().FieldID("myId"), dvm.KInt); got.Int == 0 {
+		t.Error("self returned 0")
+	}
+	if s.Now() < 50 {
+		t.Errorf("clock = %d, want >= 50 after sleep", s.Now())
+	}
+}
+
+func TestRunTwiceRejected(t *testing.T) {
+	p, err := asm.Assemble(loopbackSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSystem(p, Config{})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err == nil {
+		t.Error("second Run must fail")
+	}
+}
+
+func TestIntrinsicErrorsCrashTask(t *testing.T) {
+	src := `
+.method main(arg) regs=2
+    const-int v1, #999
+    join v1              ; bad thread handle
+    return-void
+.end
+`
+	s, _ := runSrc(t, src, func(s *System, p *dvm.Program) {
+		if _, err := s.StartThread("main", "main", dvm.Null()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if len(s.Crashes()) != 1 {
+		t.Fatalf("crashes = %v, want 1", s.Crashes())
+	}
+}
+
+func TestChooseHookOverridesScheduler(t *testing.T) {
+	// Force the scheduler to always pick the last candidate; the run
+	// must still complete correctly.
+	p, err := asm.Assemble(msgSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := trace.NewCollector()
+	s := NewSystem(p, Config{Tracer: col, Choose: func(n int) int { return n - 1 }})
+	ch := s.AddChannel()
+	if _, err := s.StartThread("prod", "producer", dvm.Int64(ch)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StartThread("cons", "consumer", dvm.Int64(ch)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Heap().GetStatic(p.FieldID("got"), dvm.KInt); got.Int != 99 {
+		t.Errorf("got = %d, want 99", got.Int)
+	}
+}

@@ -1,0 +1,646 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"cafa/internal/dvm"
+	"cafa/internal/trace"
+)
+
+// UninstrumentedListenerBase partitions listener handles: listeners at
+// or above this value model listeners living in framework packages
+// CAFA does not instrument (§5.2 notes only android.app, android.view,
+// android.widget, and android.content are covered). The runtime still
+// sequences them, but emits no register/perform entries — the source
+// of the paper's Type I false positives.
+const UninstrumentedListenerBase = 1 << 16
+
+// Config tunes a System.
+type Config struct {
+	// Tracer receives all emitted entries. Defaults to trace.Discard.
+	Tracer trace.Tracer
+	// Seed drives the deterministic scheduler.
+	Seed uint64
+	// Slice is the number of instructions a task runs before the
+	// scheduler rotates. Defaults to 32.
+	Slice int
+	// MaxSteps bounds total executed instructions (safety net against
+	// runaway app scripts). Defaults to 100 million.
+	MaxSteps uint64
+	// Choose, when non-nil, overrides the scheduler's pick among n
+	// runnable candidates (used by the replay module to force
+	// adversarial interleavings). It must return a value in [0, n).
+	Choose func(n int) int
+	// DelayEvent, when non-nil, returns extra enqueue delay (ms) for
+	// events whose handler has the given method name. The replay
+	// module uses it to model adversarial timing (slow network, slow
+	// services) and flip the order of racy events.
+	DelayEvent func(method string) int64
+	// DelayThread, when non-nil, returns an extra start delay (ms) for
+	// threads whose entry method has the given name — the
+	// OS-scheduling analogue of DelayEvent.
+	DelayThread func(method string) int64
+}
+
+// Looper is a looper thread bound 1:1 to an event queue (§2.1).
+type Looper struct {
+	thread  *Task
+	queue   eventQueue
+	qid     trace.QueueID
+	current *Task
+	name    string
+	proc    int32
+}
+
+// Queue returns the looper's queue id.
+func (l *Looper) Queue() trace.QueueID { return l.qid }
+
+// Handle returns the integer handle bytecode uses to address the
+// looper's queue.
+func (l *Looper) Handle() int64 { return int64(l.qid) }
+
+// Pending returns the number of events waiting in the queue.
+func (l *Looper) Pending() int { return l.queue.size() }
+
+// LooperAt returns the i-th looper created on the system (nil when
+// out of range). The first looper of an app is its main looper.
+func (s *System) LooperAt(i int) *Looper {
+	if i < 0 || i >= len(s.loopers) {
+		return nil
+	}
+	return s.loopers[i]
+}
+
+type service struct {
+	name string
+	proc int32
+}
+
+type channelMsg struct {
+	val dvm.Value
+	txn trace.TxnID
+}
+
+type channel struct {
+	buf     []channelMsg
+	waiters []*Task
+}
+
+type listenerEntry struct {
+	method *dvm.Method
+}
+
+type lockState struct {
+	holder  *Task
+	depth   int
+	waiters []*Task
+}
+
+type injection struct {
+	at       int64
+	looper   *Looper
+	method   *dvm.Method
+	arg      dvm.Value
+	delay    int64
+	external bool
+	seq      int
+}
+
+// System is one simulated device: processes, loopers, threads, a
+// shared heap, and the virtual clock.
+type System struct {
+	prog   *dvm.Program
+	heap   *dvm.Heap
+	tracer trace.Tracer
+	cfg    Config
+
+	now      int64
+	rng      uint64
+	nextTask trace.TaskID
+	nextQ    trace.QueueID
+	nextTxn  trace.TxnID
+	enqSeq   uint64
+
+	tasks      map[trace.TaskID]*Task
+	order      []*Task // creation order (diagnostics, final sweeps)
+	ready      []*Task // runnable tasks (may contain stale entries)
+	sleepers   []*Task // tasks in timed sleep
+	loopers    []*Looper
+	loopersByQ map[trace.QueueID]*Looper
+	services   []*service
+	channels   []*channel
+	listeners  map[int64][]listenerEntry
+	locks      map[trace.ObjID]*lockState
+	monitors   map[trace.ObjID][]*Task
+	injections []injection
+	injSeq     int
+
+	crashes    []Crash
+	steps      uint64
+	deadlocked bool
+	ran        bool
+}
+
+// NewSystem builds a system over a program.
+func NewSystem(prog *dvm.Program, cfg Config) *System {
+	if cfg.Tracer == nil {
+		cfg.Tracer = trace.Discard{}
+	}
+	if cfg.Slice <= 0 {
+		cfg.Slice = 32
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 100_000_000
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	s := &System{
+		prog:       prog,
+		heap:       dvm.NewHeap(),
+		tracer:     cfg.Tracer,
+		cfg:        cfg,
+		rng:        seed,
+		nextTask:   1,
+		nextQ:      1,
+		nextTxn:    1,
+		tasks:      make(map[trace.TaskID]*Task),
+		loopersByQ: make(map[trace.QueueID]*Looper),
+		listeners:  make(map[int64][]listenerEntry),
+		locks:      make(map[trace.ObjID]*lockState),
+		monitors:   make(map[trace.ObjID][]*Task),
+	}
+	prog.DeclareNames(cfg.Tracer)
+	return s
+}
+
+// Heap exposes the shared heap so app builders can pre-allocate
+// objects and set static handles before Run.
+func (s *System) Heap() *dvm.Heap { return s.heap }
+
+// Program returns the program under execution.
+func (s *System) Program() *dvm.Program { return s.prog }
+
+// Now returns the virtual clock (implements dvm.Env).
+func (s *System) Now() int64 { return s.now }
+
+// Crashes returns the uncaught exceptions observed during Run.
+func (s *System) Crashes() []Crash { return s.crashes }
+
+// Deadlocked reports whether Run ended with blocked tasks and no way
+// to make progress.
+func (s *System) Deadlocked() bool { return s.deadlocked }
+
+// Steps returns the total executed bytecode instructions.
+func (s *System) Steps() uint64 { return s.steps }
+
+func (s *System) allocTask(name string, kind trace.TaskKind, proc int32) *Task {
+	t := &Task{id: s.nextTask, name: name, kind: kind, proc: proc, state: tsBlocked}
+	s.nextTask++
+	s.tasks[t.id] = t
+	s.order = append(s.order, t)
+	return t
+}
+
+// AddLooper creates a looper thread with its event queue.
+func (s *System) AddLooper(name string, proc int32) *Looper {
+	t := s.allocTask(name, trace.KindThread, proc)
+	t.isLooperThread = true
+	l := &Looper{thread: t, qid: s.nextQ, name: name, proc: proc}
+	s.nextQ++
+	s.loopers = append(s.loopers, l)
+	s.loopersByQ[l.qid] = l
+	s.tracer.DeclareTask(trace.TaskInfo{ID: t.id, Kind: trace.KindThread, Name: name, Proc: proc})
+	s.tracer.InternQueue(l.qid, name)
+	return l
+}
+
+// AddService registers an RPC service hosted in a process; RPC calls
+// to it run on fresh binder threads of that process. The returned
+// handle is what bytecode passes to the rpc intrinsic.
+func (s *System) AddService(name string, proc int32) int64 {
+	s.services = append(s.services, &service{name: name, proc: proc})
+	return int64(len(s.services))
+}
+
+// AddChannel creates a one-way message channel (the pipe/Unix-socket
+// IPC of §5.2). The returned handle is what bytecode passes to
+// msg-send / msg-recv.
+func (s *System) AddChannel() int64 {
+	s.channels = append(s.channels, &channel{})
+	return int64(len(s.channels))
+}
+
+// StartThread creates a regular thread running method(arg), runnable
+// at time zero. It returns the thread's task.
+func (s *System) StartThread(name, method string, arg dvm.Value) (*Task, error) {
+	m, err := s.handlerMethod(method)
+	if err != nil {
+		return nil, err
+	}
+	t := s.allocTask(name, trace.KindThread, 0)
+	s.tracer.DeclareTask(trace.TaskInfo{ID: t.id, Kind: trace.KindThread, Name: name, Proc: 0})
+	ctx, err := s.newContext(t, m, arg)
+	if err != nil {
+		return nil, err
+	}
+	t.ctx = ctx
+	s.startOrDelay(t, m.Name)
+	return t, nil
+}
+
+// startOrDelay makes a freshly created thread runnable, honoring the
+// DelayThread scheduling bias.
+func (s *System) startOrDelay(t *Task, method string) {
+	if s.cfg.DelayThread != nil {
+		if d := s.cfg.DelayThread(method); d > 0 {
+			t.state = tsSleeping
+			t.wakeAt = s.now + d
+			t.blockedOn = "start delay"
+			s.sleepers = append(s.sleepers, t)
+			return
+		}
+	}
+	t.state = tsReady
+	s.pushReady(t)
+}
+
+// Inject schedules an external event: at virtual time at, method(arg)
+// is enqueued on the looper's queue with the given delay. External
+// events model sensor/user input and are conservatively chained by the
+// external-input rule of §3.3.
+func (s *System) Inject(at int64, l *Looper, method string, arg dvm.Value, delay int64) error {
+	m, err := s.handlerMethod(method)
+	if err != nil {
+		return err
+	}
+	if at < 0 || delay < 0 {
+		return fmt.Errorf("sim: negative injection time")
+	}
+	s.injections = append(s.injections, injection{
+		at: at, looper: l, method: m, arg: arg, delay: delay, external: true, seq: s.injSeq,
+	})
+	s.injSeq++
+	return nil
+}
+
+func (s *System) handlerMethod(name string) (*dvm.Method, error) {
+	idx, ok := s.prog.MethodIndex(name)
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown method %q", name)
+	}
+	m := s.prog.Methods[idx]
+	if m.NumParams > 1 {
+		return nil, fmt.Errorf("sim: handler %q must take 0 or 1 params, has %d", name, m.NumParams)
+	}
+	return m, nil
+}
+
+func (s *System) newContext(t *Task, m *dvm.Method, arg dvm.Value) (*dvm.Context, error) {
+	var args []dvm.Value
+	if m.NumParams == 1 {
+		args = []dvm.Value{arg}
+	}
+	return dvm.NewContext(s.prog, s.heap, s, s.tracer, t.id, m, args)
+}
+
+func (s *System) emit(e trace.Entry) {
+	e.Time = s.now
+	s.tracer.Emit(e)
+}
+
+// nextRand is a xorshift64* PRNG step.
+func (s *System) nextRand() uint64 {
+	x := s.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	s.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+func (s *System) choose(n int) int {
+	if n == 1 {
+		return 0
+	}
+	if s.cfg.Choose != nil {
+		c := s.cfg.Choose(n)
+		if c < 0 || c >= n {
+			c = 0
+		}
+		return c
+	}
+	return int(s.nextRand() % uint64(n))
+}
+
+// ErrMaxSteps is returned when the instruction budget is exhausted.
+var ErrMaxSteps = errors.New("sim: max steps exceeded")
+
+// Run drives the system to quiescence: all threads finished, all
+// queues drained, all injections delivered. It returns ErrMaxSteps if
+// the instruction budget runs out; deadlock is not an error (inspect
+// Deadlocked).
+func (s *System) Run() error {
+	if s.ran {
+		return errors.New("sim: Run called twice")
+	}
+	s.ran = true
+	// Sort injections by (time, seq) for deterministic delivery.
+	sort.SliceStable(s.injections, func(i, j int) bool {
+		if s.injections[i].at != s.injections[j].at {
+			return s.injections[i].at < s.injections[j].at
+		}
+		return s.injections[i].seq < s.injections[j].seq
+	})
+	// Looper threads begin first, in creation order.
+	for _, l := range s.loopers {
+		s.emit(trace.Entry{Task: l.thread.id, Op: trace.OpBegin})
+		l.thread.beginEmitted = true
+		l.thread.state = tsBlocked // loopers are "scheduled" via their queues
+		l.thread.blockedOn = "event loop"
+	}
+	for {
+		s.deliverInjections()
+		s.wakeSleepers()
+		if s.steps > s.cfg.MaxSteps {
+			return ErrMaxSteps
+		}
+		progressed := s.scheduleOnce()
+		if progressed {
+			continue
+		}
+		if !s.advanceClock() {
+			break
+		}
+	}
+	s.finish()
+	return nil
+}
+
+// deliverInjections enqueues all injections due at or before now.
+func (s *System) deliverInjections() {
+	for len(s.injections) > 0 && s.injections[0].at <= s.now {
+		inj := s.injections[0]
+		s.injections = s.injections[1:]
+		ev := s.allocTask(inj.method.Name, trace.KindEvent, inj.looper.proc)
+		ev.looper = inj.looper
+		ev.external = true
+		s.tracer.DeclareTask(trace.TaskInfo{
+			ID: ev.id, Kind: trace.KindEvent, Name: inj.method.Name,
+			Looper: inj.looper.thread.id, Queue: inj.looper.qid, Proc: inj.looper.proc,
+		})
+		s.enqSeq++
+		delay := inj.delay
+		if s.cfg.DelayEvent != nil {
+			delay += s.cfg.DelayEvent(inj.method.Name)
+		}
+		inj.looper.queue.pushBack(queuedEvent{
+			task: ev, method: inj.method, arg: inj.arg,
+			when: s.now + delay, seq: s.enqSeq,
+		})
+	}
+}
+
+// wakeSleepers resumes tasks whose sleep deadline has passed.
+func (s *System) wakeSleepers() {
+	kept := s.sleepers[:0]
+	for _, t := range s.sleepers {
+		if t.state == tsSleeping && t.wakeAt <= s.now {
+			s.wake(t, dvm.Int64(0))
+		} else if t.state == tsSleeping {
+			kept = append(kept, t)
+		}
+	}
+	s.sleepers = kept
+}
+
+// pushReady enqueues a task for scheduling.
+func (s *System) pushReady(t *Task) { s.ready = append(s.ready, t) }
+
+// scheduleOnce picks one runnable unit and runs a slice. It returns
+// false when nothing is runnable right now.
+func (s *System) scheduleOnce() bool {
+	// Drop stale ready entries (tasks that blocked or finished after
+	// being queued).
+	for len(s.ready) > 0 {
+		// Peek a random candidate among ready tasks and eligible
+		// loopers; swap-remove keeps this O(1) and deterministic.
+		var eligible []*Looper
+		for _, l := range s.loopers {
+			if l.current == nil && l.queue.readyAt() <= s.now {
+				eligible = append(eligible, l)
+			}
+		}
+		n := len(s.ready) + len(eligible)
+		c := s.choose(n)
+		if c >= len(s.ready) {
+			s.popEvent(eligible[c-len(s.ready)])
+			return true
+		}
+		t := s.ready[c]
+		last := len(s.ready) - 1
+		s.ready[c] = s.ready[last]
+		s.ready = s.ready[:last]
+		if t.state != tsReady || t.ctx == nil {
+			continue // stale
+		}
+		s.runSlice(t)
+		if t.state == tsReady {
+			s.pushReady(t)
+		}
+		return true
+	}
+	for _, l := range s.loopers {
+		if l.current == nil && l.queue.readyAt() <= s.now {
+			s.popEvent(l)
+			return true
+		}
+	}
+	return false
+}
+
+// popEvent takes the next eligible event off a looper's queue and
+// makes it the looper's current task.
+func (s *System) popEvent(l *Looper) {
+	ev, ok := l.queue.pop(s.now)
+	if !ok {
+		return
+	}
+	t := ev.task
+	ctx, err := s.newContext(t, ev.method, ev.arg)
+	if err != nil {
+		// Handler arity was validated at send; this is unreachable in
+		// practice but must not wedge the looper.
+		s.crashes = append(s.crashes, Crash{Task: t.id, Name: t.name, Time: s.now, Err: err})
+		t.state = tsCrashed
+		return
+	}
+	t.ctx = ctx
+	t.state = tsReady
+	l.current = t
+	s.emit(trace.Entry{Task: t.id, Op: trace.OpBegin, Queue: l.qid, External: t.external})
+	t.beginEmitted = true
+	if t.rpcTxn != 0 {
+		s.emit(trace.Entry{Task: t.id, Op: trace.OpRPCHandle, Txn: t.rpcTxn})
+	}
+	s.runSlice(t)
+	if t.state == tsReady {
+		s.pushReady(t)
+	}
+}
+
+// runSlice executes up to cfg.Slice instructions of t.
+func (s *System) runSlice(t *Task) {
+	if !t.beginEmitted {
+		s.emit(trace.Entry{Task: t.id, Op: trace.OpBegin})
+		t.beginEmitted = true
+		if t.rpcTxn != 0 {
+			s.emit(trace.Entry{Task: t.id, Op: trace.OpRPCHandle, Txn: t.rpcTxn})
+		}
+	}
+	for i := 0; i < s.cfg.Slice; i++ {
+		st := t.ctx.Step()
+		s.steps++
+		switch st {
+		case dvm.Running:
+			continue
+		case dvm.Blocked:
+			return // intrinsic parked the task already
+		case dvm.Finished:
+			s.finishTask(t, nil)
+			return
+		case dvm.Crashed:
+			s.finishTask(t, t.ctx.Err)
+			return
+		}
+	}
+}
+
+// finishTask emits the end entry, wakes joiners, releases looper
+// slots, and answers pending RPC clients.
+func (s *System) finishTask(t *Task, crashErr error) {
+	if crashErr != nil {
+		t.state = tsCrashed
+		t.err = crashErr
+		s.crashes = append(s.crashes, Crash{Task: t.id, Name: t.name, Time: s.now, Err: crashErr})
+	} else {
+		t.state = tsDone
+	}
+	if t.rpcClient != nil {
+		s.emit(trace.Entry{Task: t.id, Op: trace.OpRPCReply, Txn: t.rpcTxn})
+	}
+	s.emit(trace.Entry{Task: t.id, Op: trace.OpEnd})
+	if t.rpcClient != nil {
+		client := t.rpcClient
+		s.emit(trace.Entry{Task: client.id, Op: trace.OpRPCRet, Txn: t.rpcTxn})
+		result := dvm.Null()
+		if crashErr == nil {
+			result = t.ctx.Result
+		}
+		s.wake(client, result)
+	}
+	for _, j := range t.joiners {
+		s.emit(trace.Entry{Task: j.id, Op: trace.OpJoin, Target: t.id})
+		s.wake(j, dvm.Int64(0))
+	}
+	t.joiners = nil
+	if t.looper != nil && t.looper.current == t {
+		t.looper.current = nil
+	}
+}
+
+// wake resumes a blocked task with a result value.
+func (s *System) wake(t *Task, v dvm.Value) {
+	if t.state != tsBlocked && t.state != tsSleeping {
+		return
+	}
+	t.state = tsReady
+	t.blockedOn = ""
+	// Start-delayed threads have a runnable context that never entered
+	// a blocking intrinsic; only suspended contexts need a Resume.
+	if t.ctx.State() == dvm.Blocked {
+		t.ctx.Resume(v)
+	}
+	s.pushReady(t)
+}
+
+// advanceClock jumps virtual time to the next actionable instant. It
+// returns false when the system is quiescent or deadlocked.
+func (s *System) advanceClock() bool {
+	next := int64(math.MaxInt64)
+	for _, t := range s.sleepers {
+		if t.state == tsSleeping && t.wakeAt < next {
+			next = t.wakeAt
+		}
+	}
+	for _, l := range s.loopers {
+		if l.current == nil {
+			if ra := l.queue.readyAt(); ra < next {
+				if ra < s.now {
+					ra = s.now
+				}
+				// A ready queue at the current instant means scheduleOnce
+				// would have run it; only future times reach here.
+				next = ra
+			}
+		}
+	}
+	if len(s.injections) > 0 && s.injections[0].at < next {
+		next = s.injections[0].at
+	}
+	if next == int64(math.MaxInt64) {
+		// Nothing timed. Any blocked tasks now can never wake.
+		for _, t := range s.order {
+			if t.state == tsBlocked && !t.isLooperThread {
+				s.deadlocked = true
+				break
+			}
+		}
+		return false
+	}
+	if next <= s.now {
+		// Guard against livelock: force time forward.
+		next = s.now + 1
+	}
+	s.now = next
+	return true
+}
+
+// finish emits end entries for looper threads.
+func (s *System) finish() {
+	for _, l := range s.loopers {
+		s.emit(trace.Entry{Task: l.thread.id, Op: trace.OpEnd})
+		l.thread.state = tsDone
+	}
+}
+
+// CaughtNPEs lists NullPointerExceptions that were swallowed by try
+// handlers during the run — not crashes, but still use-after-free
+// manifestations (the §6.2 data-loss pattern).
+func (s *System) CaughtNPEs() []Crash {
+	var out []Crash
+	for _, t := range s.order {
+		if t.ctx == nil {
+			continue
+		}
+		for _, npe := range t.ctx.CaughtNPEs {
+			out = append(out, Crash{Task: t.id, Name: t.name, Time: s.now, Err: npe})
+		}
+	}
+	return out
+}
+
+// BlockedTasks lists tasks still blocked (deadlock diagnostics).
+func (s *System) BlockedTasks() []string {
+	var out []string
+	for _, t := range s.order {
+		if t.state == tsBlocked && !t.isLooperThread {
+			out = append(out, fmt.Sprintf("%s (t%d) on %s", t.name, t.id, t.blockedOn))
+		}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+// Package sim is a deterministic, discrete-virtual-time simulation of
+// the Android event-driven runtime described in §2 of the paper:
+// looper threads draining FIFO event queues (with delays and
+// sendAtFront), regular threads with fork/join, Java-style monitors
+// and reentrant locks, event listeners, Binder-like RPC across
+// simulated processes, and one-way message channels.
+//
+// The runtime executes dvm bytecode and emits the §3/§5 trace entries
+// through a trace.Tracer, exactly mirroring what CAFA's instrumented
+// ROM logs. Scheduling is seeded-pseudo-random but fully
+// deterministic, so every trace is reproducible bit-for-bit.
+package sim
+
+import (
+	"fmt"
+
+	"cafa/internal/dvm"
+	"cafa/internal/trace"
+)
+
+type taskState uint8
+
+const (
+	tsReady taskState = iota
+	tsBlocked
+	tsSleeping
+	tsDone
+	tsCrashed
+)
+
+func (s taskState) String() string {
+	switch s {
+	case tsReady:
+		return "ready"
+	case tsBlocked:
+		return "blocked"
+	case tsSleeping:
+		return "sleeping"
+	case tsDone:
+		return "done"
+	case tsCrashed:
+		return "crashed"
+	default:
+		return fmt.Sprintf("taskState(%d)", uint8(s))
+	}
+}
+
+// Task is a schedulable unit: a regular thread, a binder thread, or an
+// event popped from a queue. Looper threads also have a Task identity
+// (for begin/end entries and TaskInfo) but never carry a context —
+// their work is popping events.
+type Task struct {
+	id   trace.TaskID
+	name string
+	kind trace.TaskKind
+	proc int32
+
+	ctx   *dvm.Context
+	state taskState
+	// blockedOn is a diagnostic for deadlock reports.
+	blockedOn string
+	// wakeAt applies while sleeping.
+	wakeAt int64
+	// joiners are tasks blocked in join on this task.
+	joiners []*Task
+	// beginEmitted guards one-shot begin entries.
+	beginEmitted bool
+	// isLooperThread marks the pseudo-task of a looper.
+	isLooperThread bool
+	// event state (kind == KindEvent).
+	looper   *Looper
+	external bool
+	// rpc server plumbing: reply to this client with this txn at end.
+	rpcClient *Task
+	rpcTxn    trace.TxnID
+	// crash error when state == tsCrashed.
+	err error
+}
+
+// ID returns the task's trace identity.
+func (t *Task) ID() trace.TaskID { return t.id }
+
+// Name returns the diagnostic name.
+func (t *Task) Name() string { return t.name }
+
+// Crash describes a task that died on an uncaught exception — the
+// observable manifestation of a use-after-free violation.
+type Crash struct {
+	Task trace.TaskID
+	Name string
+	Time int64
+	Err  error
+}
+
+func (c Crash) String() string {
+	return fmt.Sprintf("t%d (%s) crashed at %dms: %v", c.Task, c.Name, c.Time, c.Err)
+}

@@ -1,0 +1,451 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary trace format ("logger device" format):
+//
+//	magic "CAFA" | version uvarint | task table | name tables | entry count | entries
+//
+// Every integer is an unsigned varint; signed quantities (Time, Delay)
+// use zigzag encoding. Each entry is an op byte, a field-presence
+// bitmask, then the present fields in field order. The format is
+// self-contained: a decoded trace compares equal to the encoded one.
+
+const (
+	magic         = "CAFA"
+	formatVersion = 1
+)
+
+// Field-presence bits, in encoding order.
+const (
+	fTarget = 1 << iota
+	fQueue
+	fDelay
+	fExternal
+	fMonitor
+	fLock
+	fListener
+	fVar
+	fValue
+	fTxn
+	fPC
+	fTargetPC
+	fBranch
+	fMethod
+	fTime
+)
+
+// Encode writes the trace in binary form.
+func (tr *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	putUvarint(bw, formatVersion)
+
+	// Task table.
+	putUvarint(bw, uint64(len(tr.Tasks)))
+	for _, id := range tr.TaskIDs() {
+		ti := tr.Tasks[id]
+		putUvarint(bw, uint64(id))
+		putUvarint(bw, uint64(ti.Kind))
+		putString(bw, ti.Name)
+		putUvarint(bw, uint64(ti.Looper))
+		putUvarint(bw, uint64(ti.Queue))
+		putVarint(bw, int64(ti.Proc))
+	}
+	putNameTable(bw, toU32Map(tr.Fields))
+	putNameTable(bw, toU32Map(tr.Methods))
+	putNameTable(bw, toU32Map(tr.Queues))
+
+	putUvarint(bw, uint64(len(tr.Entries)))
+	for i := range tr.Entries {
+		if err := encodeEntry(bw, &tr.Entries[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func encodeEntry(bw *bufio.Writer, e *Entry) error {
+	if !e.Op.Valid() {
+		return fmt.Errorf("trace: encode: invalid op %d", uint8(e.Op))
+	}
+	if err := bw.WriteByte(byte(e.Op)); err != nil {
+		return err
+	}
+	putUvarint(bw, uint64(e.Task))
+	var mask uint64
+	if e.Target != 0 {
+		mask |= fTarget
+	}
+	if e.Queue != 0 {
+		mask |= fQueue
+	}
+	if e.Delay != 0 {
+		mask |= fDelay
+	}
+	if e.External {
+		mask |= fExternal
+	}
+	if e.Monitor != 0 {
+		mask |= fMonitor
+	}
+	if e.Lock != 0 {
+		mask |= fLock
+	}
+	if e.Listener != 0 {
+		mask |= fListener
+	}
+	if e.Var != 0 {
+		mask |= fVar
+	}
+	if e.Value != 0 {
+		mask |= fValue
+	}
+	if e.Txn != 0 {
+		mask |= fTxn
+	}
+	if e.PC != 0 {
+		mask |= fPC
+	}
+	if e.TargetPC != 0 {
+		mask |= fTargetPC
+	}
+	if e.Branch != 0 {
+		mask |= fBranch
+	}
+	if e.Method != 0 {
+		mask |= fMethod
+	}
+	if e.Time != 0 {
+		mask |= fTime
+	}
+	putUvarint(bw, mask)
+	if mask&fTarget != 0 {
+		putUvarint(bw, uint64(e.Target))
+	}
+	if mask&fQueue != 0 {
+		putUvarint(bw, uint64(e.Queue))
+	}
+	if mask&fDelay != 0 {
+		putVarint(bw, e.Delay)
+	}
+	if mask&fMonitor != 0 {
+		putUvarint(bw, uint64(e.Monitor))
+	}
+	if mask&fLock != 0 {
+		putUvarint(bw, uint64(e.Lock))
+	}
+	if mask&fListener != 0 {
+		putUvarint(bw, uint64(e.Listener))
+	}
+	if mask&fVar != 0 {
+		putUvarint(bw, uint64(e.Var))
+	}
+	if mask&fValue != 0 {
+		putUvarint(bw, uint64(e.Value))
+	}
+	if mask&fTxn != 0 {
+		putUvarint(bw, uint64(e.Txn))
+	}
+	if mask&fPC != 0 {
+		putUvarint(bw, uint64(e.PC))
+	}
+	if mask&fTargetPC != 0 {
+		putUvarint(bw, uint64(e.TargetPC))
+	}
+	if mask&fBranch != 0 {
+		putUvarint(bw, uint64(e.Branch))
+	}
+	if mask&fMethod != 0 {
+		putUvarint(bw, uint64(e.Method))
+	}
+	if mask&fTime != 0 {
+		putVarint(bw, e.Time)
+	}
+	return nil
+}
+
+// Decode reads a binary trace written by Encode.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var mg [4]byte
+	if _, err := io.ReadFull(br, mg[:]); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if string(mg[:]) != magic {
+		return nil, errors.New("trace: decode: bad magic")
+	}
+	ver, err := getUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver != formatVersion {
+		return nil, fmt.Errorf("trace: decode: unsupported version %d", ver)
+	}
+	tr := New()
+
+	ntasks, err := getUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < ntasks; i++ {
+		var ti TaskInfo
+		id, err := getUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		kind, err := getUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		name, err := getString(br)
+		if err != nil {
+			return nil, err
+		}
+		looper, err := getUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		queue, err := getUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		proc, err := getVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		ti.ID = TaskID(id)
+		ti.Kind = TaskKind(kind)
+		ti.Name = name
+		ti.Looper = TaskID(looper)
+		ti.Queue = QueueID(queue)
+		ti.Proc = int32(proc)
+		tr.Tasks[ti.ID] = ti
+	}
+	fields, err := getNameTable(br)
+	if err != nil {
+		return nil, err
+	}
+	methods, err := getNameTable(br)
+	if err != nil {
+		return nil, err
+	}
+	queues, err := getNameTable(br)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range fields {
+		tr.Fields[FieldID(k)] = v
+	}
+	for k, v := range methods {
+		tr.Methods[MethodID(k)] = v
+	}
+	for k, v := range queues {
+		tr.Queues[QueueID(k)] = v
+	}
+
+	n, err := getUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("trace: decode: absurd entry count %d", n)
+	}
+	tr.Entries = make([]Entry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		e, err := decodeEntry(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: decode entry %d: %w", i, err)
+		}
+		tr.Entries = append(tr.Entries, e)
+	}
+	return tr, nil
+}
+
+func decodeEntry(br *bufio.Reader) (Entry, error) {
+	var e Entry
+	op, err := br.ReadByte()
+	if err != nil {
+		return e, err
+	}
+	e.Op = Op(op)
+	if !e.Op.Valid() {
+		return e, fmt.Errorf("invalid op %d", op)
+	}
+	task, err := getUvarint(br)
+	if err != nil {
+		return e, err
+	}
+	e.Task = TaskID(task)
+	mask, err := getUvarint(br)
+	if err != nil {
+		return e, err
+	}
+	e.External = mask&fExternal != 0
+	read := func(bit uint64) (uint64, error) {
+		if mask&bit == 0 {
+			return 0, nil
+		}
+		return getUvarint(br)
+	}
+	var v uint64
+	if v, err = read(fTarget); err != nil {
+		return e, err
+	}
+	e.Target = TaskID(v)
+	if v, err = read(fQueue); err != nil {
+		return e, err
+	}
+	e.Queue = QueueID(v)
+	if mask&fDelay != 0 {
+		if e.Delay, err = getVarint(br); err != nil {
+			return e, err
+		}
+	}
+	if v, err = read(fMonitor); err != nil {
+		return e, err
+	}
+	e.Monitor = MonitorID(v)
+	if v, err = read(fLock); err != nil {
+		return e, err
+	}
+	e.Lock = LockID(v)
+	if v, err = read(fListener); err != nil {
+		return e, err
+	}
+	e.Listener = ListenerID(v)
+	if v, err = read(fVar); err != nil {
+		return e, err
+	}
+	e.Var = VarID(v)
+	if v, err = read(fValue); err != nil {
+		return e, err
+	}
+	e.Value = ObjID(v)
+	if v, err = read(fTxn); err != nil {
+		return e, err
+	}
+	e.Txn = TxnID(v)
+	if v, err = read(fPC); err != nil {
+		return e, err
+	}
+	e.PC = PC(v)
+	if v, err = read(fTargetPC); err != nil {
+		return e, err
+	}
+	e.TargetPC = PC(v)
+	if v, err = read(fBranch); err != nil {
+		return e, err
+	}
+	e.Branch = BranchKind(v)
+	if v, err = read(fMethod); err != nil {
+		return e, err
+	}
+	e.Method = MethodID(v)
+	if mask&fTime != 0 {
+		if e.Time, err = getVarint(br); err != nil {
+			return e, err
+		}
+	}
+	return e, nil
+}
+
+// --- varint helpers ---
+
+func putUvarint(bw *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	bw.Write(buf[:n]) //nolint:errcheck // flushed error surfaces at Flush
+}
+
+func putVarint(bw *bufio.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	bw.Write(buf[:n]) //nolint:errcheck
+}
+
+func putString(bw *bufio.Writer, s string) {
+	putUvarint(bw, uint64(len(s)))
+	bw.WriteString(s) //nolint:errcheck
+}
+
+func getUvarint(br *bufio.Reader) (uint64, error) {
+	return binary.ReadUvarint(br)
+}
+
+func getVarint(br *bufio.Reader) (int64, error) {
+	return binary.ReadVarint(br)
+}
+
+func getString(br *bufio.Reader) (string, error) {
+	n, err := getUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("trace: decode: absurd string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func toU32Map[K ~uint32](m map[K]string) map[uint32]string {
+	out := make(map[uint32]string, len(m))
+	for k, v := range m {
+		out[uint32(k)] = v
+	}
+	return out
+}
+
+func putNameTable(bw *bufio.Writer, m map[uint32]string) {
+	putUvarint(bw, uint64(len(m)))
+	// Deterministic order.
+	keys := make([]uint32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	for _, k := range keys {
+		putUvarint(bw, uint64(k))
+		putString(bw, m[k])
+	}
+}
+
+func getNameTable(br *bufio.Reader) (map[uint32]string, error) {
+	n, err := getUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<24 {
+		return nil, fmt.Errorf("trace: decode: absurd table size %d", n)
+	}
+	m := make(map[uint32]string, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := getUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		v, err := getString(br)
+		if err != nil {
+			return nil, err
+		}
+		m[uint32(k)] = v
+	}
+	return m, nil
+}

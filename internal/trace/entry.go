@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Entry is one operation in an execution trace. Operand fields are
+// used according to Op; unused operands are zero.
+type Entry struct {
+	Task TaskID // the task performing the operation
+	Op   Op
+	Time int64 // virtual milliseconds at which the operation executed
+
+	// Operands (per-Op meaning):
+	//   OpFork, OpJoin:            Target = the thread forked/joined.
+	//   OpSend, OpSendAtFront:     Target = event sent, Queue = destination
+	//                              queue, Delay = delay ms (OpSend only),
+	//                              External = event originates outside the app.
+	//   OpBegin (event tasks):     Queue = queue it was drawn from.
+	//   OpWait, OpNotify:          Monitor.
+	//   OpLock, OpUnlock:          Lock.
+	//   OpRegister, OpPerform:     Listener.
+	//   OpRead, OpWrite:           Var.
+	//   OpPtrRead:                 Var, Value = object obtained, PC, Method.
+	//   OpPtrWrite:                Var, Value = object stored (NullObj ⇒ free), PC, Method.
+	//   OpDeref:                   Value = object dereferenced, PC, Method.
+	//   OpBranch:                  Value = object tested, PC, TargetPC, Branch, Method.
+	//   OpInvoke, OpReturn:        Method, PC = call/return site.
+	//   OpRPC*, OpMsg*:            Txn.
+	Target   TaskID
+	Queue    QueueID
+	Delay    int64
+	External bool
+	Monitor  MonitorID
+	Lock     LockID
+	Listener ListenerID
+	Var      VarID
+	Value    ObjID
+	Txn      TxnID
+	PC       PC
+	TargetPC PC
+	Branch   BranchKind
+	Method   MethodID
+}
+
+// IsFree reports whether the entry is a "free" in the paper's sense: a
+// pointer write storing null (§4.1).
+func (e *Entry) IsFree() bool { return e.Op == OpPtrWrite && e.Value == NullObj }
+
+// IsAlloc reports whether the entry is an "allocation": a pointer
+// write storing a non-null object (§4.1).
+func (e *Entry) IsAlloc() bool { return e.Op == OpPtrWrite && e.Value != NullObj }
+
+// String renders the entry in the trace text format, e.g.
+// "send(t3, e7, 5) @12".
+func (e *Entry) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(t%d", e.Op, e.Task)
+	switch e.Op {
+	case OpFork, OpJoin:
+		fmt.Fprintf(&b, ", t%d", e.Target)
+	case OpSend:
+		fmt.Fprintf(&b, ", e%d, q%d, %d", e.Target, e.Queue, e.Delay)
+		if e.External {
+			b.WriteString(", ext")
+		}
+	case OpSendAtFront:
+		fmt.Fprintf(&b, ", e%d, q%d", e.Target, e.Queue)
+		if e.External {
+			b.WriteString(", ext")
+		}
+	case OpBegin:
+		if e.Queue != NoQueue {
+			fmt.Fprintf(&b, ", q%d", e.Queue)
+		}
+	case OpWait, OpNotify:
+		fmt.Fprintf(&b, ", m%d", e.Monitor)
+	case OpLock, OpUnlock:
+		fmt.Fprintf(&b, ", l%d", e.Lock)
+	case OpRegister, OpPerform:
+		fmt.Fprintf(&b, ", L%d", e.Listener)
+	case OpRead, OpWrite:
+		fmt.Fprintf(&b, ", x%x", uint64(e.Var))
+	case OpPtrRead, OpPtrWrite:
+		fmt.Fprintf(&b, ", o%d.f%d, v=o%d, pc=%d", e.Var.Owner(), e.Var.Field(), e.Value, e.PC)
+	case OpDeref:
+		fmt.Fprintf(&b, ", o%d, pc=%d", e.Value, e.PC)
+	case OpBranch:
+		fmt.Fprintf(&b, ", %s, o%d, pc=%d->%d", e.Branch, e.Value, e.PC, e.TargetPC)
+	case OpInvoke, OpReturn:
+		fmt.Fprintf(&b, ", m%d, pc=%d", e.Method, e.PC)
+	case OpRPCCall, OpRPCHandle, OpRPCReply, OpRPCRet, OpMsgSend, OpMsgRecv:
+		fmt.Fprintf(&b, ", txn%d", e.Txn)
+	}
+	fmt.Fprintf(&b, ") @%d", e.Time)
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package trace
+
+import "fmt"
+
+// Op enumerates the operations that may appear in a trace. The first
+// group is the Figure 3 vocabulary; the second group is the §5.3
+// instrumentation for use-free detection; the third group is the §5.2
+// IPC instrumentation.
+type Op uint8
+
+// Operations.
+const (
+	OpInvalid Op = iota
+
+	// Figure 3 operations.
+	OpBegin       // begin(t): task t starts
+	OpEnd         // end(t): task t finishes
+	OpRead        // rd(t,x): low-level read of variable x
+	OpWrite       // wr(t,x): low-level write of variable x
+	OpFork        // fork(t,u): t forks thread u
+	OpJoin        // join(t,u): t joins thread u
+	OpWait        // wait(t,m)
+	OpNotify      // notify(t,m)
+	OpSend        // send(t,e,delay): enqueue event e with delay
+	OpSendAtFront // sendAtFront(t,e): enqueue event e at queue front
+	OpRegister    // register(t,l): register listener l
+	OpPerform     // perform(t,l): event t performs listener l
+
+	// Locking. The model derives no happens-before from these (§3.1);
+	// they feed the lockset mutual-exclusion check.
+	OpLock   // acquire lock
+	OpUnlock // release lock
+
+	// §5.3 instrumentation (Dalvik interpreter).
+	OpPtrRead  // pointer read (iget/sget/aget-object): Var, Value=object obtained
+	OpPtrWrite // pointer write (iput/sput/aput-object): Var, Value (NullObj ⇒ free, else allocation)
+	OpDeref    // dereference of Obj (field access or method invocation receiver)
+	OpBranch   // guard branch on an object pointer (if-eqz/if-nez/if-eq), per §5.3 logging rules
+	OpInvoke   // method invocation (calling-context stack)
+	OpReturn   // method return (calling-context stack)
+
+	// §5.2 IPC instrumentation.
+	OpRPCCall   // client issues RPC transaction Txn
+	OpRPCHandle // server begins handling transaction Txn
+	OpRPCReply  // server replies to transaction Txn
+	OpRPCRet    // client resumes after reply of transaction Txn
+	OpMsgSend   // one-way pipe/socket message Txn sent
+	OpMsgRecv   // one-way pipe/socket message Txn received
+
+	opMax // number of ops; keep last
+)
+
+var opNames = [...]string{
+	OpInvalid:     "invalid",
+	OpBegin:       "begin",
+	OpEnd:         "end",
+	OpRead:        "rd",
+	OpWrite:       "wr",
+	OpFork:        "fork",
+	OpJoin:        "join",
+	OpWait:        "wait",
+	OpNotify:      "notify",
+	OpSend:        "send",
+	OpSendAtFront: "sendAtFront",
+	OpRegister:    "register",
+	OpPerform:     "perform",
+	OpLock:        "lock",
+	OpUnlock:      "unlock",
+	OpPtrRead:     "ptrRead",
+	OpPtrWrite:    "ptrWrite",
+	OpDeref:       "deref",
+	OpBranch:      "branch",
+	OpInvoke:      "invoke",
+	OpReturn:      "return",
+	OpRPCCall:     "rpcCall",
+	OpRPCHandle:   "rpcHandle",
+	OpRPCReply:    "rpcReply",
+	OpRPCRet:      "rpcRet",
+	OpMsgSend:     "msgSend",
+	OpMsgRecv:     "msgRecv",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// Valid reports whether op is a known operation.
+func (op Op) Valid() bool { return op > OpInvalid && op < opMax }
+
+// BranchKind describes which guard instruction produced an OpBranch
+// entry.
+type BranchKind uint8
+
+// Guard branch kinds (§5.3 "If-Guard Check" logging).
+const (
+	BranchIfEqz BranchKind = iota // if-eqz, logged when NOT taken (pointer non-null on fallthrough)
+	BranchIfNez                   // if-nez, logged when taken (pointer non-null at target)
+	BranchIfEq                    // if-eq vs `this`, logged when taken (pointer non-null at target)
+)
+
+func (k BranchKind) String() string {
+	switch k {
+	case BranchIfEqz:
+		return "if-eqz"
+	case BranchIfNez:
+		return "if-nez"
+	case BranchIfEq:
+		return "if-eq"
+	default:
+		return fmt.Sprintf("BranchKind(%d)", uint8(k))
+	}
+}

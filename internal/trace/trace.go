@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Trace is one recorded execution: the ordered operation list plus the
+// metadata tables the offline analyzer needs (task kinds, interned
+// names). The entry index in Entries is the global sequence number;
+// the happens-before relation of §3 is always consistent with it.
+type Trace struct {
+	Entries []Entry
+
+	// Tasks maps each TaskID appearing in the trace to its metadata.
+	Tasks map[TaskID]TaskInfo
+
+	// Interned name tables for diagnostics (may be partially empty).
+	Fields  map[FieldID]string
+	Methods map[MethodID]string
+	Queues  map[QueueID]string
+}
+
+// New returns an empty trace with initialized tables.
+func New() *Trace {
+	return &Trace{
+		Tasks:   make(map[TaskID]TaskInfo),
+		Fields:  make(map[FieldID]string),
+		Methods: make(map[MethodID]string),
+		Queues:  make(map[QueueID]string),
+	}
+}
+
+// Append adds an entry and returns its sequence number.
+func (tr *Trace) Append(e Entry) int {
+	tr.Entries = append(tr.Entries, e)
+	return len(tr.Entries) - 1
+}
+
+// Len returns the number of entries.
+func (tr *Trace) Len() int { return len(tr.Entries) }
+
+// TaskName returns a diagnostic name for a task.
+func (tr *Trace) TaskName(t TaskID) string {
+	if ti, ok := tr.Tasks[t]; ok && ti.Name != "" {
+		return ti.Name
+	}
+	return fmt.Sprintf("t%d", t)
+}
+
+// FieldName returns a diagnostic name for a field.
+func (tr *Trace) FieldName(f FieldID) string {
+	if n, ok := tr.Fields[f]; ok && n != "" {
+		return n
+	}
+	return fmt.Sprintf("f%d", f)
+}
+
+// MethodName returns a diagnostic name for a method.
+func (tr *Trace) MethodName(m MethodID) string {
+	if n, ok := tr.Methods[m]; ok && n != "" {
+		return n
+	}
+	return fmt.Sprintf("m%d", m)
+}
+
+// VarName renders a variable as owner.field.
+func (tr *Trace) VarName(v VarID) string {
+	if v.Owner() == NullObj {
+		return fmt.Sprintf("static.%s", tr.FieldName(v.Field()))
+	}
+	return fmt.Sprintf("o%d.%s", v.Owner(), tr.FieldName(v.Field()))
+}
+
+// IsEventTask reports whether t is an event (as opposed to a regular
+// or looper thread).
+func (tr *Trace) IsEventTask(t TaskID) bool {
+	return tr.Tasks[t].Kind == KindEvent
+}
+
+// LooperOf returns the looper thread that processed event t, or NoTask
+// if t is not an event.
+func (tr *Trace) LooperOf(t TaskID) TaskID {
+	ti := tr.Tasks[t]
+	if ti.Kind != KindEvent {
+		return NoTask
+	}
+	return ti.Looper
+}
+
+// TaskIDs returns all task ids in ascending order.
+func (tr *Trace) TaskIDs() []TaskID {
+	ids := make([]TaskID, 0, len(tr.Tasks))
+	for id := range tr.Tasks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// EventCount returns the number of event tasks in the trace; this is
+// the "Events" column of Table 1.
+func (tr *Trace) EventCount() int {
+	n := 0
+	for _, ti := range tr.Tasks {
+		if ti.Kind == KindEvent {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate performs structural well-formedness checks:
+//
+//   - every entry's Op is valid and its Task is declared in Tasks;
+//   - every task with entries has exactly one begin, preceding all its
+//     other entries, and at most one end, following them;
+//   - no entry follows a task's end;
+//   - a task never begins before it is sent/forked (when the
+//     sender/forker is present in the trace);
+//   - entry Times are non-decreasing.
+//
+// It returns the first violation found, or nil.
+func (tr *Trace) Validate() error {
+	type state struct {
+		begun, ended bool
+	}
+	states := make(map[TaskID]*state)
+	created := make(map[TaskID]int) // seq of fork/send creating the task
+	var lastTime int64
+	for i := range tr.Entries {
+		e := &tr.Entries[i]
+		if !e.Op.Valid() {
+			return fmt.Errorf("trace: entry %d: invalid op %d", i, uint8(e.Op))
+		}
+		if e.Task == NoTask {
+			return fmt.Errorf("trace: entry %d (%s): zero task id", i, e)
+		}
+		if _, ok := tr.Tasks[e.Task]; !ok {
+			return fmt.Errorf("trace: entry %d (%s): task t%d not declared", i, e, e.Task)
+		}
+		if e.Time < lastTime {
+			return fmt.Errorf("trace: entry %d (%s): time goes backwards (%d < %d)", i, e, e.Time, lastTime)
+		}
+		lastTime = e.Time
+
+		st := states[e.Task]
+		if st == nil {
+			st = &state{}
+			states[e.Task] = st
+		}
+		switch e.Op {
+		case OpBegin:
+			if st.begun {
+				return fmt.Errorf("trace: entry %d: task %s begins twice", i, tr.TaskName(e.Task))
+			}
+			st.begun = true
+		case OpEnd:
+			if !st.begun {
+				return fmt.Errorf("trace: entry %d: task %s ends before beginning", i, tr.TaskName(e.Task))
+			}
+			if st.ended {
+				return fmt.Errorf("trace: entry %d: task %s ends twice", i, tr.TaskName(e.Task))
+			}
+			st.ended = true
+		default:
+			if !st.begun {
+				return fmt.Errorf("trace: entry %d (%s): operation before begin of %s", i, e, tr.TaskName(e.Task))
+			}
+			if st.ended {
+				return fmt.Errorf("trace: entry %d (%s): operation after end of %s", i, e, tr.TaskName(e.Task))
+			}
+		}
+		switch e.Op {
+		case OpFork, OpSend, OpSendAtFront:
+			if e.Target == NoTask {
+				return fmt.Errorf("trace: entry %d (%s): zero target", i, e)
+			}
+			if tst := states[e.Target]; tst != nil && tst.begun {
+				return fmt.Errorf("trace: entry %d (%s): target t%d already began", i, e, e.Target)
+			}
+			if prev, dup := created[e.Target]; dup {
+				return fmt.Errorf("trace: entry %d (%s): task t%d created twice (first at %d)", i, e, e.Target, prev)
+			}
+			created[e.Target] = i
+		}
+	}
+	for id, st := range states {
+		if st.begun && !st.ended {
+			// Unfinished tasks are allowed (a trace is a finite window
+			// over a live system), but loopers must be threads.
+			_ = id
+		}
+	}
+	for id, ti := range tr.Tasks {
+		if ti.ID != 0 && ti.ID != id {
+			return fmt.Errorf("trace: task table entry %d has mismatched ID %d", id, ti.ID)
+		}
+		if ti.Kind == KindEvent {
+			if ti.Looper == NoTask {
+				return fmt.Errorf("trace: event %s has no looper", tr.TaskName(id))
+			}
+			if lt, ok := tr.Tasks[ti.Looper]; !ok || lt.Kind != KindThread {
+				return fmt.Errorf("trace: event %s: looper t%d is not a thread", tr.TaskName(id), ti.Looper)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+// Package vclock implements a classic thread-based happens-before
+// race detector in the style of FastTrack (Flanagan & Freund, PLDI
+// 2009): vector clocks, lock release→acquire edges, and total program
+// order per thread.
+//
+// Applied to an event-driven trace it does what §7.1 of the CAFA
+// paper criticizes: every event of a looper thread is folded into the
+// looper's single timeline, so logically concurrent events appear
+// ordered and intra-looper races are invisible. The package exists as
+// (a) that baseline, and (b) an independent implementation of
+// happens-before used to cross-validate the graph engine on
+// thread-only traces.
+package vclock
+
+import "fmt"
+
+// VC is a vector clock: one logical clock per task slot.
+type VC []uint64
+
+// New returns a zero clock of width n.
+func New(n int) VC { return make(VC, n) }
+
+// Copy returns an independent copy.
+func (v VC) Copy() VC {
+	w := make(VC, len(v))
+	copy(w, v)
+	return w
+}
+
+// Tick increments slot i.
+func (v VC) Tick(i int) { v[i]++ }
+
+// Join sets v to the pointwise maximum of v and w.
+func (v VC) Join(w VC) {
+	for i := range w {
+		if w[i] > v[i] {
+			v[i] = w[i]
+		}
+	}
+}
+
+// LEQ reports v ≤ w pointwise (v happens-before-or-equals w).
+func (v VC) LEQ(w VC) bool {
+	for i := range v {
+		var wi uint64
+		if i < len(w) {
+			wi = w[i]
+		}
+		if v[i] > wi {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns slot i (0 beyond the width).
+func (v VC) Get(i int) uint64 {
+	if i < len(v) {
+		return v[i]
+	}
+	return 0
+}
+
+func (v VC) String() string { return fmt.Sprintf("%v", []uint64(v)) }
+
+// Epoch is FastTrack's scalar clock@slot representation of a single
+// access.
+type Epoch struct {
+	Slot  int
+	Clock uint64
+}
+
+// LEQVC reports epoch ≤ the clock's slot entry.
+func (e Epoch) LEQVC(v VC) bool { return e.Clock <= v.Get(e.Slot) }
