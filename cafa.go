@@ -37,11 +37,11 @@ package cafa
 import (
 	"io"
 
+	"cafa/internal/analysis"
 	"cafa/internal/asm"
 	"cafa/internal/detect"
 	"cafa/internal/dvm"
 	"cafa/internal/hb"
-	"cafa/internal/lockset"
 	"cafa/internal/sim"
 	"cafa/internal/trace"
 )
@@ -165,29 +165,21 @@ type AnalyzeOptions struct {
 }
 
 // Analyze runs the full offline pipeline on a trace: both causality
-// models, lock sets, and the use-free race detector.
+// models, lock sets, and the use-free race detector. The passes run
+// concurrently via internal/analysis; results are identical to the
+// serial pipeline.
 func Analyze(tr *Trace, opts AnalyzeOptions) (*Report, error) {
-	g, err := hb.Build(tr, hb.Options{})
+	res, err := analysis.Analyze(tr, analysis.Options{Detect: opts.Detect, Naive: opts.Naive})
 	if err != nil {
 		return nil, err
 	}
-	conv, err := hb.Build(tr, hb.Options{Conventional: true})
-	if err != nil {
-		return nil, err
-	}
-	ls, err := lockset.Compute(tr)
-	if err != nil {
-		return nil, err
-	}
-	res, err := detect.Detect(detect.Input{Trace: tr, Graph: g, Conventional: conv, Locks: ls}, opts.Detect)
-	if err != nil {
-		return nil, err
-	}
-	rep := &Report{Races: res.Races, Stats: res.Stats, GraphStats: g.Stats(), tr: tr}
-	if opts.Naive {
-		rep.Naive = detect.Naive(g)
-	}
-	return rep, nil
+	return &Report{
+		Races:      res.Races,
+		Stats:      res.Stats,
+		GraphStats: res.GraphStats,
+		Naive:      res.Naive,
+		tr:         tr,
+	}, nil
 }
 
 // Describe renders a race against the report's trace symbol tables.

@@ -1,128 +1,280 @@
 // Command cafa-analyze is the offline half of the CAFA pipeline: it
-// reads a recorded trace, builds the event-driven causality model,
-// and reports use-free races (§4).
+// reads recorded traces, builds the event-driven causality model, and
+// reports use-free races (§4). It accepts one or more trace files
+// and/or directories (directories expand to their *.trace files) and
+// analyzes them in parallel, emitting one aggregated report.
 //
 // Usage:
 //
-//	cafa-analyze -i mytracks.trace [-naive] [-keep-dups] [-json]
+//	cafa-analyze [-j N] [-naive] [-keep-dups] [-json]
 //	             [-stats] [-explain] [-context]
 //	             [-no-ifguard] [-no-intra-alloc] [-no-lockset]
+//	             trace-file|trace-dir ...
+//
+// The legacy single-input form `cafa-analyze -i app.trace` still
+// works.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
+	"cafa/internal/analysis"
 	"cafa/internal/detect"
-	"cafa/internal/hb"
-	"cafa/internal/lockset"
 	"cafa/internal/trace"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "cafa-analyze: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// config carries the parsed command line.
+type config struct {
+	inputs   []string
+	workers  int
+	naive    bool
+	keepDups bool
+	noGuard  bool
+	noAlloc  bool
+	noLocks  bool
+	stats    bool
+	explain  bool
+	context  bool
+	asJSON   bool
+}
+
+func parseArgs(args []string) (*config, error) {
+	fs := flag.NewFlagSet("cafa-analyze", flag.ContinueOnError)
 	var (
-		in       = flag.String("i", "", "input trace file")
-		naive    = flag.Bool("naive", false, "also run the low-level conflicting-access baseline")
-		keepDups = flag.Bool("keep-dups", false, "report every dynamic race instance")
-		noGuard  = flag.Bool("no-ifguard", false, "disable the if-guard heuristic")
-		noAlloc  = flag.Bool("no-intra-alloc", false, "disable the intra-event-allocation heuristic")
-		noLocks  = flag.Bool("no-lockset", false, "disable the lockset mutual-exclusion filter")
-		stats    = flag.Bool("stats", false, "print pipeline statistics")
-		explain  = flag.Bool("explain", false, "for each race, show why the conventional model hides it")
-		context  = flag.Bool("context", false, "print calling contexts for each race")
-		asJSON   = flag.Bool("json", false, "emit the race report as JSON")
+		in       = fs.String("i", "", "input trace file (legacy; positional arguments are preferred)")
+		workers  = fs.Int("j", 0, "trace-level parallelism (0 = GOMAXPROCS)")
+		naive    = fs.Bool("naive", false, "also run the low-level conflicting-access baseline")
+		keepDups = fs.Bool("keep-dups", false, "report every dynamic race instance")
+		noGuard  = fs.Bool("no-ifguard", false, "disable the if-guard heuristic")
+		noAlloc  = fs.Bool("no-intra-alloc", false, "disable the intra-event-allocation heuristic")
+		noLocks  = fs.Bool("no-lockset", false, "disable the lockset mutual-exclusion filter")
+		stats    = fs.Bool("stats", false, "print pipeline statistics")
+		explain  = fs.Bool("explain", false, "for each race, show why the conventional model hides it")
+		context  = fs.Bool("context", false, "print calling contexts for each race")
+		asJSON   = fs.Bool("json", false, "emit the race report as JSON")
 	)
-	flag.Parse()
-	if *in == "" {
-		fail("missing -i <trace file>")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
 	}
-	f, err := os.Open(*in)
+	var raw []string
+	if *in != "" {
+		raw = append(raw, *in)
+	}
+	raw = append(raw, fs.Args()...)
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("missing input: pass trace files/directories (or legacy -i <trace file>)")
+	}
+	inputs, err := expandInputs(raw)
 	if err != nil {
-		fail("%v", err)
+		return nil, err
 	}
+	return &config{
+		inputs:  inputs,
+		workers: *workers,
+		naive:   *naive, keepDups: *keepDups,
+		noGuard: *noGuard, noAlloc: *noAlloc, noLocks: *noLocks,
+		stats: *stats, explain: *explain, context: *context, asJSON: *asJSON,
+	}, nil
+}
+
+// expandInputs resolves directories to their *.trace files (sorted)
+// and keeps files as-is.
+func expandInputs(raw []string) ([]string, error) {
+	var out []string
+	for _, p := range raw {
+		st, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		if !st.IsDir() {
+			out = append(out, p)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(p, "*.trace"))
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("%s: directory contains no *.trace files", p)
+		}
+		sort.Strings(matches)
+		out = append(out, matches...)
+	}
+	return out, nil
+}
+
+// fileReport is the analysis of one input file.
+type fileReport struct {
+	File   string
+	Trace  *trace.Trace
+	Result *analysis.Result
+}
+
+func run(args []string, stdout io.Writer) error {
+	cfg, err := parseArgs(args)
+	if err != nil {
+		return err
+	}
+	reports, err := analyzeFiles(cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.asJSON {
+		return emitJSON(stdout, reports)
+	}
+	return emitText(stdout, cfg, reports)
+}
+
+// analyzeFiles decodes and analyzes every input under the bounded
+// worker pool, preserving input order.
+func analyzeFiles(cfg *config) ([]*fileReport, error) {
+	traces := make([]*trace.Trace, len(cfg.inputs))
+	decErrs := make([]error, len(cfg.inputs))
+	analysis.ForEach(cfg.workers, len(cfg.inputs), func(i int) {
+		traces[i], decErrs[i] = loadTrace(cfg.inputs[i])
+	})
+	for i, err := range decErrs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.inputs[i], err)
+		}
+	}
+	p := analysis.New(analysis.Options{
+		Detect: detect.Options{
+			DisableIfGuard:         cfg.noGuard,
+			DisableIntraEventAlloc: cfg.noAlloc,
+			DisableLockset:         cfg.noLocks,
+			KeepDuplicates:         cfg.keepDups,
+		},
+		Naive:   cfg.naive,
+		Workers: cfg.workers,
+	})
+	results, err := p.AnalyzeAll(traces)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]*fileReport, len(results))
+	for i, res := range results {
+		reports[i] = &fileReport{File: cfg.inputs[i], Trace: traces[i], Result: res}
+	}
+	return reports, nil
+}
+
+func loadTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
 	tr, err := trace.Decode(f)
-	f.Close()
 	if err != nil {
-		fail("decode: %v", err)
+		return nil, fmt.Errorf("decode: %w", err)
 	}
 	if err := tr.Validate(); err != nil {
-		fail("trace validation: %v", err)
+		return nil, fmt.Errorf("trace validation: %w", err)
 	}
+	return tr, nil
+}
 
-	g, err := hb.Build(tr, hb.Options{})
-	if err != nil {
-		fail("causality model: %v", err)
+func emitText(w io.Writer, cfg *config, reports []*fileReport) error {
+	var agg struct {
+		races, a, b, c, naive int
+		stats                 detect.Stats
 	}
-	conv, err := hb.Build(tr, hb.Options{Conventional: true})
-	if err != nil {
-		fail("conventional model: %v", err)
-	}
-	ls, err := lockset.Compute(tr)
-	if err != nil {
-		fail("locksets: %v", err)
-	}
-	res, err := detect.Detect(detect.Input{Trace: tr, Graph: g, Conventional: conv, Locks: ls},
-		detect.Options{
-			DisableIfGuard:         *noGuard,
-			DisableIntraEventAlloc: *noAlloc,
-			DisableLockset:         *noLocks,
-			KeepDuplicates:         *keepDups,
-		})
-	if err != nil {
-		fail("detect: %v", err)
-	}
-
-	if *asJSON {
-		emitJSON(tr, res)
-		return
-	}
-	fmt.Printf("%s: %d events, %d entries\n", *in, tr.EventCount(), tr.Len())
-	fmt.Printf("use-free races: %d\n", len(res.Races))
-	var a, b, c int
-	for _, r := range res.Races {
-		fmt.Printf("  [%s] %s\n", r.Class, r.Describe(tr))
-		if *context {
-			fmt.Printf("    use context:  %s\n", detect.FormatStack(tr, detect.CallStack(tr, r.Use.DerefIdx)))
-			fmt.Printf("    free context: %s\n", detect.FormatStack(tr, detect.CallStack(tr, r.Free.Idx)))
-		}
-		if *explain {
-			if path := conv.Explain(r.Use.ReadIdx, r.Free.Idx); path != nil {
-				fmt.Println("    conventional model would order use ≺ free via:")
-				fmt.Println(indent(conv.FormatPath(path), "    "))
-			} else if path := conv.Explain(r.Free.Idx, r.Use.ReadIdx); path != nil {
-				fmt.Println("    conventional model would order free ≺ use via:")
-				fmt.Println(indent(conv.FormatPath(path), "    "))
-			} else {
-				fmt.Println("    unordered in both models")
+	for _, rep := range reports {
+		tr, res := rep.Trace, rep.Result
+		fmt.Fprintf(w, "%s: %d events, %d entries\n", rep.File, tr.EventCount(), tr.Len())
+		fmt.Fprintf(w, "use-free races: %d\n", len(res.Races))
+		var a, b, c int
+		for _, r := range res.Races {
+			fmt.Fprintf(w, "  [%s] %s\n", r.Class, r.Describe(tr))
+			if cfg.context {
+				fmt.Fprintf(w, "    use context:  %s\n", detect.FormatStack(tr, detect.CallStack(tr, r.Use.DerefIdx)))
+				fmt.Fprintf(w, "    free context: %s\n", detect.FormatStack(tr, detect.CallStack(tr, r.Free.Idx)))
+			}
+			if cfg.explain {
+				conv := res.Conventional
+				if path := conv.Explain(r.Use.ReadIdx, r.Free.Idx); path != nil {
+					fmt.Fprintln(w, "    conventional model would order use ≺ free via:")
+					fmt.Fprintln(w, indent(conv.FormatPath(path), "    "))
+				} else if path := conv.Explain(r.Free.Idx, r.Use.ReadIdx); path != nil {
+					fmt.Fprintln(w, "    conventional model would order free ≺ use via:")
+					fmt.Fprintln(w, indent(conv.FormatPath(path), "    "))
+				} else {
+					fmt.Fprintln(w, "    unordered in both models")
+				}
+			}
+			switch r.Class {
+			case detect.ClassIntraThread:
+				a++
+			case detect.ClassInterThread:
+				b++
+			case detect.ClassConventional:
+				c++
 			}
 		}
-		switch r.Class {
-		case detect.ClassIntraThread:
-			a++
-		case detect.ClassInterThread:
-			b++
-		case detect.ClassConventional:
-			c++
+		fmt.Fprintf(w, "by class: intra-thread=%d inter-thread=%d conventional=%d\n", a, b, c)
+		if cfg.stats {
+			st := res.Stats
+			fmt.Fprintf(w, "pipeline: uses=%d frees=%d allocs=%d candidates=%d\n",
+				st.Uses, st.Frees, st.Allocs, st.Candidates)
+			fmt.Fprintf(w, "filtered: ordered=%d lockset=%d if-guard=%d intra-alloc=%d duplicates=%d\n",
+				st.FilteredOrdered, st.FilteredLockset, st.FilteredIfGuard, st.FilteredIntraAlloc, st.Duplicates)
+			gs := res.GraphStats
+			fmt.Fprintf(w, "graph: nodes=%d base-edges=%d rule-edges=%d fixpoint-rounds=%d\n",
+				gs.Nodes, gs.BaseEdges, gs.RuleEdges, gs.Rounds)
+		}
+		if cfg.naive {
+			fmt.Fprintf(w, "low-level conflicting-access races (naive baseline): %d\n", len(res.Naive))
+		}
+		agg.races += len(res.Races)
+		agg.a += a
+		agg.b += b
+		agg.c += c
+		agg.naive += len(res.Naive)
+		addStats(&agg.stats, res.Stats)
+	}
+	if len(reports) > 1 {
+		fmt.Fprintf(w, "\n=== aggregate over %d traces ===\n", len(reports))
+		fmt.Fprintf(w, "use-free races: %d\n", agg.races)
+		fmt.Fprintf(w, "by class: intra-thread=%d inter-thread=%d conventional=%d\n", agg.a, agg.b, agg.c)
+		if cfg.stats {
+			st := agg.stats
+			fmt.Fprintf(w, "pipeline: uses=%d frees=%d allocs=%d candidates=%d\n",
+				st.Uses, st.Frees, st.Allocs, st.Candidates)
+			fmt.Fprintf(w, "filtered: ordered=%d lockset=%d if-guard=%d intra-alloc=%d duplicates=%d\n",
+				st.FilteredOrdered, st.FilteredLockset, st.FilteredIfGuard, st.FilteredIntraAlloc, st.Duplicates)
+		}
+		if cfg.naive {
+			fmt.Fprintf(w, "low-level conflicting-access races (naive baseline): %d\n", agg.naive)
 		}
 	}
-	fmt.Printf("by class: intra-thread=%d inter-thread=%d conventional=%d\n", a, b, c)
-	if *stats {
-		st := res.Stats
-		fmt.Printf("pipeline: uses=%d frees=%d allocs=%d candidates=%d\n",
-			st.Uses, st.Frees, st.Allocs, st.Candidates)
-		fmt.Printf("filtered: ordered=%d lockset=%d if-guard=%d intra-alloc=%d duplicates=%d\n",
-			st.FilteredOrdered, st.FilteredLockset, st.FilteredIfGuard, st.FilteredIntraAlloc, st.Duplicates)
-		gs := g.Stats()
-		fmt.Printf("graph: nodes=%d base-edges=%d rule-edges=%d fixpoint-rounds=%d\n",
-			gs.Nodes, gs.BaseEdges, gs.RuleEdges, gs.Rounds)
-	}
-	if *naive {
-		nr := detect.Naive(g)
-		fmt.Printf("low-level conflicting-access races (naive baseline): %d\n", len(nr))
-	}
+	return nil
+}
+
+func addStats(dst *detect.Stats, s detect.Stats) {
+	dst.Uses += s.Uses
+	dst.Frees += s.Frees
+	dst.Allocs += s.Allocs
+	dst.Candidates += s.Candidates
+	dst.FilteredOrdered += s.FilteredOrdered
+	dst.FilteredLockset += s.FilteredLockset
+	dst.FilteredIfGuard += s.FilteredIfGuard
+	dst.FilteredIntraAlloc += s.FilteredIntraAlloc
+	dst.Duplicates += s.Duplicates
 }
 
 // raceJSON is the machine-readable race record.
@@ -140,37 +292,64 @@ type raceJSON struct {
 	FreeStack  string `json:"freeStack"`
 }
 
-func emitJSON(tr *trace.Trace, res *detect.Result) {
-	out := struct {
-		Events int          `json:"events"`
-		Races  []raceJSON   `json:"races"`
-		Stats  detect.Stats `json:"stats"`
-	}{Events: tr.EventCount(), Races: []raceJSON{}, Stats: res.Stats}
-	for _, r := range res.Races {
-		out.Races = append(out.Races, raceJSON{
-			Class:      r.Class.String(),
-			Field:      tr.FieldName(r.Use.Var.Field()),
-			Var:        tr.VarName(r.Use.Var),
-			UseTask:    tr.TaskName(r.Use.Task),
-			UseMethod:  tr.MethodName(r.Use.Method),
-			UsePC:      uint32(r.Use.DerefPC),
-			UseStack:   detect.FormatStack(tr, detect.CallStack(tr, r.Use.DerefIdx)),
-			FreeTask:   tr.TaskName(r.Free.Task),
-			FreeMethod: tr.MethodName(r.Free.Method),
-			FreePC:     uint32(r.Free.PC),
-			FreeStack:  detect.FormatStack(tr, detect.CallStack(tr, r.Free.Idx)),
-		})
-	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fail("%v", err)
-	}
+// inputJSON is the per-trace section of the aggregated JSON report.
+type inputJSON struct {
+	File    string       `json:"file"`
+	Events  int          `json:"events"`
+	Entries int          `json:"entries"`
+	Races   []raceJSON   `json:"races"`
+	Stats   detect.Stats `json:"stats"`
+	Naive   int          `json:"naiveRaces,omitempty"`
 }
 
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "cafa-analyze: %s\n", fmt.Sprintf(format, args...))
-	os.Exit(1)
+// reportJSON is the aggregated machine-readable report.
+type reportJSON struct {
+	Inputs     []inputJSON    `json:"inputs"`
+	Events     int            `json:"events"`
+	TotalRaces int            `json:"totalRaces"`
+	ByClass    map[string]int `json:"byClass"`
+	Stats      detect.Stats   `json:"stats"`
+}
+
+func emitJSON(w io.Writer, reports []*fileReport) error {
+	out := reportJSON{
+		Inputs:  []inputJSON{},
+		ByClass: map[string]int{},
+	}
+	for _, rep := range reports {
+		tr, res := rep.Trace, rep.Result
+		in := inputJSON{
+			File:    rep.File,
+			Events:  tr.EventCount(),
+			Entries: tr.Len(),
+			Races:   []raceJSON{},
+			Stats:   res.Stats,
+			Naive:   len(res.Naive),
+		}
+		for _, r := range res.Races {
+			in.Races = append(in.Races, raceJSON{
+				Class:      r.Class.String(),
+				Field:      tr.FieldName(r.Use.Var.Field()),
+				Var:        tr.VarName(r.Use.Var),
+				UseTask:    tr.TaskName(r.Use.Task),
+				UseMethod:  tr.MethodName(r.Use.Method),
+				UsePC:      uint32(r.Use.DerefPC),
+				UseStack:   detect.FormatStack(tr, detect.CallStack(tr, r.Use.DerefIdx)),
+				FreeTask:   tr.TaskName(r.Free.Task),
+				FreeMethod: tr.MethodName(r.Free.Method),
+				FreePC:     uint32(r.Free.PC),
+				FreeStack:  detect.FormatStack(tr, detect.CallStack(tr, r.Free.Idx)),
+			})
+			out.ByClass[r.Class.String()]++
+		}
+		out.Inputs = append(out.Inputs, in)
+		out.Events += in.Events
+		out.TotalRaces += len(res.Races)
+		addStats(&out.Stats, res.Stats)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func indent(s, prefix string) string {

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenMultiJSON locks the -json aggregation format over multiple
+// inputs. Fixtures are committed traces (cafa-trace, ZXing at scale 32
+// and ToDoList at scale 100, seed 1); regenerate the golden file with
+// `go test ./cmd/cafa-analyze -update` after an intentional change.
+func TestGoldenMultiJSON(t *testing.T) {
+	args := []string{"-json", "testdata/zxing.trace", "testdata/todolist.trace"}
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_multi.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-json output diverges from %s (run with -update to regenerate)\ngot %d bytes, want %d",
+			golden, buf.Len(), len(want))
+	}
+}
+
+// TestMultiJSONWorkerIndependence proves the report is byte-identical
+// regardless of decode/analysis parallelism.
+func TestMultiJSONWorkerIndependence(t *testing.T) {
+	inputs := []string{"testdata/zxing.trace", "testdata/todolist.trace"}
+	var serial bytes.Buffer
+	if err := run(append([]string{"-json", "-j", "1"}, inputs...), &serial); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []string{"2", "8"} {
+		var buf bytes.Buffer
+		if err := run(append([]string{"-json", "-j", j}, inputs...), &buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(serial.Bytes(), buf.Bytes()) {
+			t.Errorf("-j %s output differs from -j 1", j)
+		}
+	}
+}
+
+// TestDirectoryInput checks that a directory argument expands to its
+// *.trace files in sorted order.
+func TestDirectoryInput(t *testing.T) {
+	var fromDir bytes.Buffer
+	if err := run([]string{"-json", "testdata"}, &fromDir); err != nil {
+		t.Fatal(err)
+	}
+	// Sorted order: todolist.trace before zxing.trace.
+	var explicit bytes.Buffer
+	if err := run([]string{"-json", "testdata/todolist.trace", "testdata/zxing.trace"}, &explicit); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromDir.Bytes(), explicit.Bytes()) {
+		t.Error("directory input differs from the equivalent explicit file list")
+	}
+
+	empty := t.TempDir()
+	if err := run([]string{"-json", empty}, &bytes.Buffer{}); err == nil {
+		t.Error("empty directory: want error, got nil")
+	}
+}

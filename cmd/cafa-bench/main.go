@@ -22,10 +22,9 @@ import (
 	"os"
 	"time"
 
+	"cafa/internal/analysis"
 	"cafa/internal/apps"
 	"cafa/internal/detect"
-	"cafa/internal/hb"
-	"cafa/internal/lockset"
 	"cafa/internal/replay"
 	"cafa/internal/report"
 	"cafa/internal/sim"
@@ -44,6 +43,7 @@ func main() {
 		all       = flag.Bool("all", false, "run every experiment")
 		validate  = flag.Bool("validate", false, "adversarially replay each app's first harmful race")
 		scale     = flag.Int("scale", 1, "divide benign filler volume (1 = paper event counts)")
+		jobs      = flag.Int("j", 0, "app-level parallelism for the analysis pipeline (0 = GOMAXPROCS)")
 		seed      = flag.Uint64("seed", 1, "scheduler seed")
 		iters     = flag.Int("iters", 3, "timing repetitions for Figure 8")
 	)
@@ -58,7 +58,7 @@ func main() {
 
 	if *table1 {
 		fmt.Println("=== Table 1: use-free races per application (measured/paper) ===")
-		results, err := report.RunAll(report.RunOptions{Seed: *seed, Scale: *scale})
+		results, err := report.RunAll(report.RunOptions{Seed: *seed, Scale: *scale, Workers: *jobs})
 		if err != nil {
 			fail("%v", err)
 		}
@@ -98,12 +98,12 @@ func main() {
 			{"no heuristics at all", detect.Options{DisableIfGuard: true, DisableIntraEventAlloc: true, DisableLockset: true}},
 		}
 		for _, c := range cfgs {
+			results, err := report.RunAll(report.RunOptions{Seed: *seed, Scale: *scale, Detect: c.opts, Workers: *jobs})
+			if err != nil {
+				fail("%v", err)
+			}
 			total := 0
-			for _, spec := range apps.Registry {
-				r, err := report.RunApp(spec, report.RunOptions{Seed: *seed, Scale: *scale, Detect: c.opts})
-				if err != nil {
-					fail("%v", err)
-				}
+			for _, r := range results {
 				total += r.Reported
 			}
 			fmt.Printf("%-22s %4d reported races\n", c.name, total)
@@ -111,11 +111,11 @@ func main() {
 		// The §6.3 future-work extension, run as the opposite ablation:
 		// static data-flow use matching removes Type III reports.
 		var total, fp3 int
-		for _, spec := range apps.Registry {
-			r, err := report.RunApp(spec, report.RunOptions{Seed: *seed, Scale: *scale, Precise: true})
-			if err != nil {
-				fail("%v", err)
-			}
+		results, err := report.RunAll(report.RunOptions{Seed: *seed, Scale: *scale, Precise: true, Workers: *jobs})
+		if err != nil {
+			fail("%v", err)
+		}
+		for _, r := range results {
 			total += r.Reported
 			fp3 += r.FP3
 		}
@@ -140,36 +140,41 @@ func main() {
 			fmt.Println(" scalability argument against them for event-driven systems)")
 		}
 		fmt.Printf("%-12s %18s %18s\n", "Application", "CAFA use-free", "FastTrack low-level")
-		for _, spec := range apps.Registry {
+		type row struct {
+			cafa, ft int
+			err      error
+		}
+		rows := make([]row, len(apps.Registry))
+		p := analysis.New(analysis.Options{})
+		analysis.ForEach(*jobs, len(apps.Registry), func(i int) {
+			spec := apps.Registry[i]
 			col := trace.NewCollector()
 			b, err := apps.Build(spec, sim.Config{Tracer: col, Seed: *seed}, bscale)
 			if err != nil {
-				fail("%v", err)
+				rows[i].err = err
+				return
 			}
 			if err := b.Sys.Run(); err != nil {
-				fail("%v", err)
+				rows[i].err = err
+				return
 			}
 			ft, err := vclock.FastTrack(col.T)
 			if err != nil {
-				fail("%v", err)
+				rows[i].err = err
+				return
 			}
-			g, err := hb.Build(col.T, hb.Options{})
+			res, err := p.Analyze(col.T)
 			if err != nil {
-				fail("%v", err)
+				rows[i].err = err
+				return
 			}
-			conv, err := hb.Build(col.T, hb.Options{Conventional: true})
-			if err != nil {
-				fail("%v", err)
+			rows[i].cafa, rows[i].ft = len(res.Races), len(ft)
+		})
+		for i, spec := range apps.Registry {
+			if rows[i].err != nil {
+				fail("%s: %v", spec.Name, rows[i].err)
 			}
-			ls, err := lockset.Compute(col.T)
-			if err != nil {
-				fail("%v", err)
-			}
-			res, err := detect.Detect(detect.Input{Trace: col.T, Graph: g, Conventional: conv, Locks: ls}, detect.Options{})
-			if err != nil {
-				fail("%v", err)
-			}
-			fmt.Printf("%-12s %18d %18d\n", spec.Name, len(res.Races), len(ft))
+			fmt.Printf("%-12s %18d %18d\n", spec.Name, rows[i].cafa, rows[i].ft)
 		}
 		fmt.Println()
 	}
@@ -192,24 +197,13 @@ func main() {
 			}
 			simMs := time.Since(t0)
 			t1 := time.Now()
-			g, err := hb.Build(col.T, hb.Options{})
+			res, err := analysis.Analyze(col.T, analysis.Options{})
 			if err != nil {
-				fail("%v", err)
-			}
-			conv, err := hb.Build(col.T, hb.Options{Conventional: true})
-			if err != nil {
-				fail("%v", err)
-			}
-			ls, err := lockset.Compute(col.T)
-			if err != nil {
-				fail("%v", err)
-			}
-			if _, err := detect.Detect(detect.Input{Trace: col.T, Graph: g, Conventional: conv, Locks: ls}, detect.Options{}); err != nil {
 				fail("%v", err)
 			}
 			anaMs := time.Since(t1)
 			fmt.Printf("%10d %10d %10d %12.1f %12.1f\n",
-				col.T.EventCount(), col.T.Len(), g.Stats().Nodes,
+				col.T.EventCount(), col.T.Len(), res.GraphStats.Nodes,
 				float64(simMs.Microseconds())/1000, float64(anaMs.Microseconds())/1000)
 		}
 		fmt.Println()

@@ -1,0 +1,200 @@
+// Package analysis orchestrates CAFA's offline half as a concurrent,
+// reusable pipeline. One Analyze call fans the three independent
+// trace passes — the event-driven causality graph, the conventional
+// baseline graph, and the lockset computation — out to goroutines
+// over a shared hb.Prescan, then joins them into the use-free
+// detector. A Pipeline additionally analyzes many traces in parallel
+// under a bounded worker pool (batch mode).
+//
+// Results are bit-identical to running the passes serially: the
+// passes share no mutable state (the Prescan is immutable, each graph
+// owns its adjacency and closure), and the detector runs after the
+// join, so concurrency changes only wall-clock time.
+package analysis
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cafa/internal/dataflow"
+	"cafa/internal/detect"
+	"cafa/internal/hb"
+	"cafa/internal/lockset"
+	"cafa/internal/trace"
+)
+
+// Options configures a Pipeline.
+type Options struct {
+	// Detect carries the detector's ablation switches.
+	Detect detect.Options
+	// Naive additionally runs the low-level conflicting-access
+	// baseline (the paper's §4.1 motivation).
+	Naive bool
+	// DerefSources, when non-nil, enables the static data-flow use
+	// matching extension (§6.3); see detect.Input.DerefSources.
+	DerefSources map[dataflow.Key]dataflow.Source
+	// Workers bounds batch-mode concurrency (AnalyzeAll). 0 means
+	// GOMAXPROCS. Per-trace pass concurrency is fixed at the three
+	// independent passes and is not affected.
+	Workers int
+}
+
+// Result is the analysis of one trace.
+type Result struct {
+	// Trace is the analyzed trace.
+	Trace *trace.Trace
+	// Races are the reported use-free races, deduplicated by code
+	// site and in deterministic SiteKey order.
+	Races []detect.Race
+	// Stats counts the detector's pipeline stages.
+	Stats detect.Stats
+	// GraphStats summarizes event-driven causality-model construction.
+	GraphStats hb.Stats
+	// ConvStats summarizes the conventional baseline model.
+	ConvStats hb.Stats
+	// Naive holds the low-level baseline races when requested.
+	Naive []detect.NaiveRace
+	// Graph and Conventional expose the built models for consumers
+	// that need ordering queries after detection (explain mode).
+	Graph        *hb.Graph
+	Conventional *hb.Graph
+	// Locks are the per-operation held-lock sets.
+	Locks *lockset.Sets
+}
+
+// Pipeline is a reusable analyzer. The zero value is ready to use;
+// New applies Options.
+type Pipeline struct {
+	opts Options
+}
+
+// New returns a Pipeline with the given options.
+func New(opts Options) *Pipeline {
+	return &Pipeline{opts: opts}
+}
+
+// Analyze runs the full offline pipeline on one trace. The trace scan
+// runs once; the two causality models and the lockset pass then run
+// concurrently, and the detector joins them.
+func (p *Pipeline) Analyze(tr *trace.Trace) (*Result, error) {
+	ps, err := hb.Scan(tr)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		wg                   sync.WaitGroup
+		g, conv              *hb.Graph
+		ls                   *lockset.Sets
+		gErr, convErr, lsErr error
+	)
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		g, gErr = hb.BuildFromScan(ps, hb.Options{})
+	}()
+	go func() {
+		defer wg.Done()
+		conv, convErr = hb.BuildFromScan(ps, hb.Options{Conventional: true})
+	}()
+	go func() {
+		defer wg.Done()
+		ls, lsErr = lockset.Compute(tr)
+	}()
+	wg.Wait()
+	if gErr != nil {
+		return nil, gErr
+	}
+	if convErr != nil {
+		return nil, convErr
+	}
+	if lsErr != nil {
+		return nil, lsErr
+	}
+	res, err := detect.Detect(detect.Input{
+		Trace:        tr,
+		Graph:        g,
+		Conventional: conv,
+		Locks:        ls,
+		DerefSources: p.opts.DerefSources,
+	}, p.opts.Detect)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Trace:        tr,
+		Races:        res.Races,
+		Stats:        res.Stats,
+		GraphStats:   g.Stats(),
+		ConvStats:    conv.Stats(),
+		Graph:        g,
+		Conventional: conv,
+		Locks:        ls,
+	}
+	if p.opts.Naive {
+		out.Naive = detect.Naive(g)
+	}
+	return out, nil
+}
+
+// AnalyzeAll analyzes many traces under a bounded worker pool,
+// returning results in input order. The first error encountered is
+// returned (after all workers drain); its result slot and any
+// unanalyzed slots are nil.
+func (p *Pipeline) AnalyzeAll(traces []*trace.Trace) ([]*Result, error) {
+	results := make([]*Result, len(traces))
+	errs := make([]error, len(traces))
+	ForEach(p.opts.Workers, len(traces), func(i int) {
+		results[i], errs[i] = p.Analyze(traces[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("analysis: trace %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// Analyze is the one-shot convenience form of Pipeline.Analyze.
+func Analyze(tr *trace.Trace, opts Options) (*Result, error) {
+	return New(opts).Analyze(tr)
+}
+
+// ForEach calls fn(i) for every i in [0, n) from up to `workers`
+// concurrent goroutines (0 = GOMAXPROCS) and waits for all calls to
+// finish. It is the bounded batch primitive shared by AnalyzeAll, the
+// report harness, and the CLIs; fn must handle its own
+// synchronization for any shared state beyond its own index.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

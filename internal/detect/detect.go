@@ -2,6 +2,7 @@ package detect
 
 import (
 	"fmt"
+	"sort"
 
 	"cafa/internal/dataflow"
 	"cafa/internal/hb"
@@ -54,6 +55,23 @@ type SiteKey struct {
 	UsePC      trace.PC
 	FreeMethod trace.MethodID
 	FreePC     trace.PC
+}
+
+// Less orders SiteKeys lexicographically by (Field, UseMethod, UsePC,
+// FreeMethod, FreePC) — the canonical report order.
+func (k SiteKey) Less(o SiteKey) bool {
+	switch {
+	case k.Field != o.Field:
+		return k.Field < o.Field
+	case k.UseMethod != o.UseMethod:
+		return k.UseMethod < o.UseMethod
+	case k.UsePC != o.UsePC:
+		return k.UsePC < o.UsePC
+	case k.FreeMethod != o.FreeMethod:
+		return k.FreeMethod < o.FreeMethod
+	default:
+		return k.FreePC < o.FreePC
+	}
 }
 
 // Key returns the race's deduplication key.
@@ -193,6 +211,13 @@ func Detect(in Input, opts Options) (*Result, error) {
 			res.Races = append(res.Races, r)
 		}
 	}
+	// Canonical report order: stable sort by SiteKey, so output never
+	// depends on extraction order and concurrent analysis can never
+	// reorder it. The stable tie-break keeps dynamic instances (under
+	// KeepDuplicates) in trace order.
+	sort.SliceStable(res.Races, func(i, j int) bool {
+		return res.Races[i].Key().Less(res.Races[j].Key())
+	})
 	return res, nil
 }
 

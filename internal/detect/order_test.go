@@ -1,0 +1,86 @@
+package detect
+
+import (
+	"sort"
+	"testing"
+
+	"cafa/internal/apps"
+	"cafa/internal/hb"
+	"cafa/internal/lockset"
+	"cafa/internal/sim"
+	"cafa/internal/trace"
+)
+
+// TestRaceOrderDeterministic asserts the detector's report order is
+// the canonical SiteKey order (and therefore independent of
+// extraction order), so concurrent analysis can never reorder output.
+func TestRaceOrderDeterministic(t *testing.T) {
+	for _, name := range []string{"Browser", "ToDoList"} {
+		spec, ok := apps.ByName(name)
+		if !ok {
+			t.Fatalf("no app %q", name)
+		}
+		col := trace.NewCollector()
+		out, err := apps.Build(spec, sim.Config{Tracer: col, Seed: 1}, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := out.Sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		g, err := hb.Build(col.T, hb.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls, err := lockset.Compute(col.T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opts := range []Options{{}, {KeepDuplicates: true}} {
+			res, err := Detect(Input{Trace: col.T, Graph: g, Locks: ls}, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Races) < 2 {
+				t.Fatalf("%s: want ≥ 2 races to check ordering, got %d", name, len(res.Races))
+			}
+			if !sort.SliceIsSorted(res.Races, func(i, j int) bool {
+				return res.Races[i].Key().Less(res.Races[j].Key())
+			}) {
+				t.Errorf("%s (opts %+v): races not in SiteKey order", name, opts)
+			}
+			for i := 1; i < len(res.Races); i++ {
+				ki, kj := res.Races[i-1].Key(), res.Races[i].Key()
+				if !opts.KeepDuplicates && !ki.Less(kj) && ki != kj {
+					t.Errorf("%s: adjacent races unordered: %+v vs %+v", name, ki, kj)
+				}
+			}
+		}
+	}
+}
+
+// TestSiteKeyLess pins the comparator's field precedence.
+func TestSiteKeyLess(t *testing.T) {
+	base := SiteKey{Field: 1, UseMethod: 2, UsePC: 3, FreeMethod: 4, FreePC: 5}
+	cases := []struct {
+		name string
+		a, b SiteKey
+		want bool
+	}{
+		{"equal", base, base, false},
+		{"field", base, SiteKey{Field: 2}, true},
+		{"field dominates", SiteKey{Field: 1, UsePC: 9}, SiteKey{Field: 2}, true},
+		{"use method", base, SiteKey{Field: 1, UseMethod: 3}, true},
+		{"use pc", base, SiteKey{Field: 1, UseMethod: 2, UsePC: 4}, true},
+		{"free method", base, SiteKey{Field: 1, UseMethod: 2, UsePC: 3, FreeMethod: 5}, true},
+		{"free pc", base, SiteKey{Field: 1, UseMethod: 2, UsePC: 3, FreeMethod: 4, FreePC: 6}, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Errorf("%s: Less(%+v, %+v) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+		if c.want && c.b.Less(c.a) {
+			t.Errorf("%s: comparator not antisymmetric", c.name)
+		}
+	}
+}

@@ -34,6 +34,21 @@ func (m *bitmat) orInto(dst, src int) {
 	}
 }
 
+// orIntoChanged ors row src into row dst and reports whether dst
+// gained any bit — the incremental closure's change-propagation test.
+func (m *bitmat) orIntoChanged(dst, src int) bool {
+	d := m.row(dst)
+	s := m.row(src)
+	var diff uint64
+	for k := range d {
+		old := d[k]
+		nv := old | s[k]
+		d[k] = nv
+		diff |= old ^ nv
+	}
+	return diff != 0
+}
+
 // clear zeroes the whole matrix.
 func (m *bitmat) clear() {
 	for i := range m.bits {

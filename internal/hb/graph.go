@@ -17,7 +17,10 @@
 //
 // The last two rule groups depend on already-derived reachability, so
 // Build iterates rule application and transitive closure to a
-// fixpoint.
+// fixpoint. The closure is computed in full once; subsequent rounds
+// propagate only the reachability contributed by edges added since the
+// previous round (closure over a DAG is monotone in its edge set, so
+// the incremental result is bit-identical to a recompute).
 //
 // Because every rule only ever concludes orderings that actually held
 // in the traced execution, the happens-before relation is consistent
@@ -25,11 +28,16 @@
 // entry sequence. The closure is computed over "reduced nodes" (task
 // begins/ends plus cross-edge endpoints); arbitrary operations resolve
 // through their nearest reduced anchors.
+//
+// The single trace scan (node collection plus model-independent base
+// edges) is factored into Scan/Prescan so the event-driven and
+// conventional variants of one trace share it; BuildFromScan builds a
+// graph over a shared Prescan and is safe to call concurrently.
 package hb
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"cafa/internal/trace"
 )
@@ -77,6 +85,12 @@ type Graph struct {
 	// looperEvents lists events per looper in begin order.
 	looperEvents map[trace.TaskID][]trace.TaskID
 
+	// pending are edges added since the last closure; the next
+	// (incremental) closure round consumes them. changed is that
+	// round's per-node dirty scratch, reused across rounds.
+	pending []edge
+	changed []bool
+
 	rounds    int
 	baseEdges int
 	ruleEdges int
@@ -84,30 +98,60 @@ type Graph struct {
 
 // Build constructs the happens-before graph for a trace.
 func Build(tr *trace.Trace, opts Options) (*Graph, error) {
+	ps, err := Scan(tr)
+	if err != nil {
+		return nil, err
+	}
+	return BuildFromScan(ps, opts)
+}
+
+// BuildFromScan constructs a graph over a shared Prescan. Multiple
+// calls over one Prescan (e.g. the event-driven and conventional
+// models, built concurrently) are safe: the Prescan is read-only.
+func BuildFromScan(ps *Prescan, opts Options) (*Graph, error) {
 	if opts.MaxRounds <= 0 {
 		opts.MaxRounds = 64
 	}
 	g := &Graph{
-		tr:           tr,
+		tr:           ps.tr,
 		opts:         opts,
-		nodeAt:       make([]int32, len(tr.Entries)),
-		taskNodes:    make(map[trace.TaskID][]int32),
-		begins:       make(map[trace.TaskID]int32),
-		ends:         make(map[trace.TaskID]int32),
-		queueSends:   make(map[trace.QueueID][]sendInfo),
-		looperEvents: make(map[trace.TaskID][]trace.TaskID),
+		nodes:        ps.nodes,
+		nodeAt:       ps.nodeAt,
+		taskNodes:    ps.taskNodes,
+		begins:       ps.begins,
+		ends:         ps.ends,
+		queueSends:   ps.queueSends,
+		looperEvents: ps.looperEvents,
 	}
-	if err := g.collectNodes(); err != nil {
-		return nil, err
+	g.adj = make([][]int32, len(g.nodes))
+	for _, e := range ps.baseEdges {
+		g.adj[e.u] = append(g.adj[e.u], e.v)
+		g.baseEdges++
 	}
-	g.buildBaseEdges()
+	// Conventional baseline: total event order per looper.
+	if opts.Conventional {
+		for _, evs := range g.looperEvents {
+			for i := 1; i < len(evs); i++ {
+				en, ok1 := g.ends[evs[i-1]]
+				b, ok2 := g.begins[evs[i]]
+				if ok1 && ok2 && g.addEdge(en, b) {
+					g.baseEdges++
+				}
+			}
+		}
+	}
 	g.reach = newBitmat(len(g.nodes))
 	for round := 0; ; round++ {
 		if round >= opts.MaxRounds {
 			return nil, fmt.Errorf("hb: fixpoint did not converge in %d rounds", opts.MaxRounds)
 		}
 		g.rounds = round + 1
-		g.closure()
+		if round == 0 {
+			g.closure()
+			g.pending = g.pending[:0]
+		} else {
+			g.incrementalClosure()
+		}
 		if !g.applyDerivedRules() {
 			break
 		}
@@ -129,39 +173,6 @@ func isReducedOp(op trace.Op) bool {
 	}
 }
 
-func (g *Graph) collectNodes() error {
-	tr := g.tr
-	for i := range tr.Entries {
-		e := &tr.Entries[i]
-		if !isReducedOp(e.Op) {
-			continue
-		}
-		id := int32(len(g.nodes))
-		g.nodes = append(g.nodes, node{seq: i, task: e.Task})
-		g.nodeAt[i] = id + 1
-		g.taskNodes[e.Task] = append(g.taskNodes[e.Task], id)
-		switch e.Op {
-		case trace.OpBegin:
-			if _, dup := g.begins[e.Task]; dup {
-				return fmt.Errorf("hb: duplicate begin for t%d", e.Task)
-			}
-			g.begins[e.Task] = id
-			if tr.IsEventTask(e.Task) {
-				lo := tr.LooperOf(e.Task)
-				g.looperEvents[lo] = append(g.looperEvents[lo], e.Task)
-			}
-		case trace.OpEnd:
-			g.ends[e.Task] = id
-		case trace.OpSend, trace.OpSendAtFront:
-			g.queueSends[e.Queue] = append(g.queueSends[e.Queue], sendInfo{
-				node: id, event: e.Target, delay: e.Delay, front: e.Op == trace.OpSendAtFront,
-			})
-		}
-	}
-	g.adj = make([][]int32, len(g.nodes))
-	return nil
-}
-
 // addEdge inserts u → v (u, v are node ids). Edges always point
 // forward in trace order; violations indicate a malformed trace and
 // are dropped.
@@ -173,169 +184,12 @@ func (g *Graph) addEdge(u, v int32) bool {
 		return false
 	}
 	g.adj[u] = append(g.adj[u], v)
+	g.pending = append(g.pending, edge{u, v})
 	return true
 }
 
-func (g *Graph) buildBaseEdges() {
-	tr := g.tr
-	// Program-order chains within each task.
-	for _, ns := range g.taskNodes {
-		for i := 1; i < len(ns); i++ {
-			if g.addEdge(ns[i-1], ns[i]) {
-				g.baseEdges++
-			}
-		}
-	}
-
-	type monPair struct {
-		notifies []int32
-		waits    []int32
-	}
-	monitors := make(map[trace.MonitorID]*monPair)
-	listeners := make(map[trace.ListenerID]*monPair) // registers / performs
-	type txnNodes struct {
-		call, handle, reply, ret int32
-	}
-	txns := make(map[trace.TxnID]*txnNodes)
-	msgs := make(map[trace.TxnID]*txnNodes) // call=send, handle=recv
-	var externals []int32                   // begin nodes of external events, in order
-
-	getTxn := func(m map[trace.TxnID]*txnNodes, id trace.TxnID) *txnNodes {
-		tn := m[id]
-		if tn == nil {
-			tn = &txnNodes{call: -1, handle: -1, reply: -1, ret: -1}
-			m[id] = tn
-		}
-		return tn
-	}
-
-	for i := range tr.Entries {
-		e := &tr.Entries[i]
-		id := g.nodeAt[i] - 1
-		if id < 0 {
-			continue
-		}
-		switch e.Op {
-		case trace.OpFork:
-			if b, ok := g.begins[e.Target]; ok && g.addEdge(id, b) {
-				g.baseEdges++
-			}
-		case trace.OpJoin:
-			if en, ok := g.ends[e.Target]; ok && g.addEdge(en, id) {
-				g.baseEdges++
-			}
-		case trace.OpNotify:
-			mp := monitors[e.Monitor]
-			if mp == nil {
-				mp = &monPair{}
-				monitors[e.Monitor] = mp
-			}
-			mp.notifies = append(mp.notifies, id)
-		case trace.OpWait:
-			mp := monitors[e.Monitor]
-			if mp == nil {
-				mp = &monPair{}
-				monitors[e.Monitor] = mp
-			}
-			mp.waits = append(mp.waits, id)
-		case trace.OpSend, trace.OpSendAtFront:
-			if b, ok := g.begins[e.Target]; ok && g.addEdge(id, b) {
-				g.baseEdges++
-			}
-		case trace.OpRegister:
-			lp := listeners[e.Listener]
-			if lp == nil {
-				lp = &monPair{}
-				listeners[e.Listener] = lp
-			}
-			lp.notifies = append(lp.notifies, id)
-		case trace.OpPerform:
-			lp := listeners[e.Listener]
-			if lp == nil {
-				lp = &monPair{}
-				listeners[e.Listener] = lp
-			}
-			lp.waits = append(lp.waits, id)
-		case trace.OpRPCCall:
-			getTxn(txns, e.Txn).call = id
-		case trace.OpRPCHandle:
-			getTxn(txns, e.Txn).handle = id
-		case trace.OpRPCReply:
-			getTxn(txns, e.Txn).reply = id
-		case trace.OpRPCRet:
-			getTxn(txns, e.Txn).ret = id
-		case trace.OpMsgSend:
-			getTxn(msgs, e.Txn).call = id
-		case trace.OpMsgRecv:
-			getTxn(msgs, e.Txn).handle = id
-		case trace.OpBegin:
-			if e.External {
-				externals = append(externals, id)
-			}
-		}
-	}
-
-	// Signal-and-wait: notify(m) ≺ every later wait(m).
-	for _, mp := range monitors {
-		for _, n := range mp.notifies {
-			for _, w := range mp.waits {
-				if g.nodes[n].seq < g.nodes[w].seq && g.addEdge(n, w) {
-					g.baseEdges++
-				}
-			}
-		}
-	}
-	// Event listener: register(l) ≺ every later perform(l).
-	for _, lp := range listeners {
-		for _, r := range lp.notifies {
-			for _, pf := range lp.waits {
-				if g.nodes[r].seq < g.nodes[pf].seq && g.addEdge(r, pf) {
-					g.baseEdges++
-				}
-			}
-		}
-	}
-	// IPC transactions.
-	for _, tn := range txns {
-		if tn.call >= 0 && tn.handle >= 0 && g.addEdge(tn.call, tn.handle) {
-			g.baseEdges++
-		}
-		if tn.reply >= 0 && tn.ret >= 0 && g.addEdge(tn.reply, tn.ret) {
-			g.baseEdges++
-		}
-	}
-	for _, tn := range msgs {
-		if tn.call >= 0 && tn.handle >= 0 && g.addEdge(tn.call, tn.handle) {
-			g.baseEdges++
-		}
-	}
-	// External input rule: end(e_i) ≺ begin(e_{i+1}) over external
-	// events in begin order (transitivity chains the rest).
-	sort.Slice(externals, func(i, j int) bool {
-		return g.nodes[externals[i]].seq < g.nodes[externals[j]].seq
-	})
-	for i := 1; i < len(externals); i++ {
-		prevTask := g.nodes[externals[i-1]].task
-		if en, ok := g.ends[prevTask]; ok && g.addEdge(en, externals[i]) {
-			g.baseEdges++
-		}
-	}
-	// Conventional baseline: total event order per looper.
-	if g.opts.Conventional {
-		for _, evs := range g.looperEvents {
-			for i := 1; i < len(evs); i++ {
-				en, ok1 := g.ends[evs[i-1]]
-				b, ok2 := g.begins[evs[i]]
-				if ok1 && ok2 && g.addEdge(en, b) {
-					g.baseEdges++
-				}
-			}
-		}
-	}
-}
-
-// closure recomputes the transitive-closure matrix. Nodes are already
-// in topological (trace) order, so one reverse sweep suffices.
+// closure computes the transitive-closure matrix in full. Nodes are
+// already in topological (trace) order, so one reverse sweep suffices.
 func (g *Graph) closure() {
 	g.reach.clear()
 	for i := len(g.nodes) - 1; i >= 0; i-- {
@@ -344,6 +198,45 @@ func (g *Graph) closure() {
 			g.reach.orInto(i, int(w))
 		}
 	}
+}
+
+// incrementalClosure folds the pending edges into the closure matrix
+// without recomputing it. For a new edge u → v only u and nodes that
+// reach u can gain reachability, so one reverse sweep from the highest
+// pending source suffices: a row is re-ORed only when it has a pending
+// edge or a successor whose row just changed. Node ids ascend in trace
+// (= topological) order, so successors are always finalized first, and
+// because closure is monotone in the edge set the result is
+// bit-identical to a full recompute.
+func (g *Graph) incrementalClosure() {
+	if len(g.pending) == 0 {
+		return
+	}
+	// Bucket the pending edges by descending source so the reverse
+	// sweep consumes them in order — no per-node lookup structure.
+	slices.SortFunc(g.pending, func(a, b edge) int { return int(b.u) - int(a.u) })
+	maxSrc := int(g.pending[0].u)
+	if cap(g.changed) < maxSrc+1 {
+		g.changed = make([]bool, maxSrc+1)
+	}
+	changed := g.changed[:maxSrc+1]
+	clear(changed)
+	k := 0
+	for i := maxSrc; i >= 0; i-- {
+		ch := false
+		for ; k < len(g.pending) && int(g.pending[k].u) == i; k++ {
+			if g.reach.orIntoChanged(i, int(g.pending[k].v)) {
+				ch = true
+			}
+		}
+		for _, w := range g.adj[i] {
+			if int(w) <= maxSrc && changed[w] && g.reach.orIntoChanged(i, int(w)) {
+				ch = true
+			}
+		}
+		changed[i] = ch
+	}
+	g.pending = g.pending[:0]
 }
 
 // reachable reports node-level reachability (reflexive).
@@ -391,13 +284,19 @@ func (g *Graph) applyDerivedRules() bool {
 			}
 		}
 	}
-	// Event queue rules over ordered sends to the same queue.
+	// Event queue rules over ordered sends to the same queue. The
+	// begin/end node ids of each send's event are resolved once per
+	// queue; the pair loop runs every round and must stay map-free.
 	for _, sends := range g.queueSends {
 		begins := make([]int32, len(sends))
+		ends := make([]int32, len(sends))
 		for i, si := range sends {
-			begins[i] = -1
+			begins[i], ends[i] = -1, -1
 			if b, ok := g.begins[si.event]; ok {
 				begins[i] = b
+			}
+			if e, ok := g.ends[si.event]; ok {
+				ends[i] = e
 			}
 		}
 		for ai := 0; ai < len(sends); ai++ {
@@ -416,20 +315,20 @@ func (g *Graph) applyDerivedRules() bool {
 				case !a.front && !b.front:
 					// Rule 1: delays must satisfy d1 <= d2.
 					if a.delay <= b.delay {
-						g.orderEvents(a.event, b.event, &added)
+						g.orderNodes(ends[ai], begins[bi], &added)
 					}
 				case a.front && !b.front:
 					// Rule 3: sendAtFront(e1) ≺ send(e2) ⇒ e1 ≺ e2.
-					g.orderEvents(a.event, b.event, &added)
+					g.orderNodes(ends[ai], begins[bi], &added)
 				case !a.front && b.front:
 					// Rule 2: additionally needs sendAtFront(e2) ≺ begin(e1).
 					if be := begins[ai]; be >= 0 && g.reachable(b.node, be) {
-						g.orderEvents(b.event, a.event, &added)
+						g.orderNodes(ends[bi], begins[ai], &added)
 					}
 				case a.front && b.front:
 					// Rule 4: same condition as rule 2.
 					if be := begins[ai]; be >= 0 && g.reachable(b.node, be) {
-						g.orderEvents(b.event, a.event, &added)
+						g.orderNodes(ends[bi], begins[ai], &added)
 					}
 				}
 			}
@@ -438,11 +337,10 @@ func (g *Graph) applyDerivedRules() bool {
 	return added
 }
 
-// orderEvents adds end(e1) → begin(e2) unless already derivable.
-func (g *Graph) orderEvents(e1, e2 trace.TaskID, added *bool) {
-	en, ok1 := g.ends[e1]
-	b, ok2 := g.begins[e2]
-	if !ok1 || !ok2 {
+// orderNodes adds end(e1) → begin(e2) by pre-resolved node ids (-1 =
+// the task has no such node) unless already derivable.
+func (g *Graph) orderNodes(en, b int32, added *bool) {
+	if en < 0 || b < 0 {
 		return
 	}
 	if g.reachable(en, b) {

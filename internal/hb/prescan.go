@@ -1,0 +1,253 @@
+package hb
+
+import (
+	"fmt"
+	"sort"
+
+	"cafa/internal/trace"
+)
+
+// edge is one directed graph edge between reduced nodes.
+type edge struct {
+	u, v int32
+}
+
+// Prescan holds the trace-scan products shared by every graph variant
+// built over one trace: the reduced node set, the per-task/per-queue
+// indexes, and the base edges common to the event-driven and
+// conventional models. A Prescan is immutable after Scan returns, so
+// concurrent BuildFromScan calls may share one.
+type Prescan struct {
+	tr    *trace.Trace
+	nodes []node
+	// nodeAt maps entry seq -> node id (+1; 0 = none).
+	nodeAt []int32
+	// taskNodes holds node ids per task, ascending by seq.
+	taskNodes map[trace.TaskID][]int32
+
+	begins map[trace.TaskID]int32 // node id of begin(t)
+	ends   map[trace.TaskID]int32 // node id of end(t)
+	// queueSends lists sends per queue in trace order.
+	queueSends map[trace.QueueID][]sendInfo
+	// looperEvents lists events per looper in begin order.
+	looperEvents map[trace.TaskID][]trace.TaskID
+
+	// baseEdges are the model-independent base edges (every rule group
+	// except the conventional looper total order, which only the
+	// baseline model adds).
+	baseEdges []edge
+}
+
+// Scan performs the shared single pass over the trace: reduced-node
+// collection plus the model-independent base edges. Both causality
+// model variants build from the same Prescan without rescanning the
+// trace.
+func Scan(tr *trace.Trace) (*Prescan, error) {
+	ps := &Prescan{
+		tr:           tr,
+		nodeAt:       make([]int32, len(tr.Entries)),
+		taskNodes:    make(map[trace.TaskID][]int32),
+		begins:       make(map[trace.TaskID]int32),
+		ends:         make(map[trace.TaskID]int32),
+		queueSends:   make(map[trace.QueueID][]sendInfo),
+		looperEvents: make(map[trace.TaskID][]trace.TaskID),
+	}
+	if err := ps.collectNodes(); err != nil {
+		return nil, err
+	}
+	ps.collectBaseEdges()
+	return ps, nil
+}
+
+// Trace returns the scanned trace.
+func (ps *Prescan) Trace() *trace.Trace { return ps.tr }
+
+func (ps *Prescan) collectNodes() error {
+	tr := ps.tr
+	for i := range tr.Entries {
+		e := &tr.Entries[i]
+		if !isReducedOp(e.Op) {
+			continue
+		}
+		id := int32(len(ps.nodes))
+		ps.nodes = append(ps.nodes, node{seq: i, task: e.Task})
+		ps.nodeAt[i] = id + 1
+		ps.taskNodes[e.Task] = append(ps.taskNodes[e.Task], id)
+		switch e.Op {
+		case trace.OpBegin:
+			if _, dup := ps.begins[e.Task]; dup {
+				return fmt.Errorf("hb: duplicate begin for t%d", e.Task)
+			}
+			ps.begins[e.Task] = id
+			if tr.IsEventTask(e.Task) {
+				lo := tr.LooperOf(e.Task)
+				ps.looperEvents[lo] = append(ps.looperEvents[lo], e.Task)
+			}
+		case trace.OpEnd:
+			ps.ends[e.Task] = id
+		case trace.OpSend, trace.OpSendAtFront:
+			ps.queueSends[e.Queue] = append(ps.queueSends[e.Queue], sendInfo{
+				node: id, event: e.Target, delay: e.Delay, front: e.Op == trace.OpSendAtFront,
+			})
+		}
+	}
+	return nil
+}
+
+// addBase records u → v in the shared base-edge list. Edges always
+// point forward in trace order; violations indicate a malformed trace
+// and are dropped (same policy as Graph.addEdge).
+func (ps *Prescan) addBase(u, v int32) bool {
+	if u < 0 || v < 0 || u == v {
+		return false
+	}
+	if ps.nodes[u].seq >= ps.nodes[v].seq {
+		return false
+	}
+	ps.baseEdges = append(ps.baseEdges, edge{u, v})
+	return true
+}
+
+func (ps *Prescan) collectBaseEdges() {
+	tr := ps.tr
+	// Program-order chains within each task.
+	for _, ns := range ps.taskNodes {
+		for i := 1; i < len(ns); i++ {
+			ps.addBase(ns[i-1], ns[i])
+		}
+	}
+
+	type monPair struct {
+		notifies []int32
+		waits    []int32
+	}
+	monitors := make(map[trace.MonitorID]*monPair)
+	listeners := make(map[trace.ListenerID]*monPair) // registers / performs
+	type txnNodes struct {
+		call, handle, reply, ret int32
+	}
+	txns := make(map[trace.TxnID]*txnNodes)
+	msgs := make(map[trace.TxnID]*txnNodes) // call=send, handle=recv
+	var externals []int32                   // begin nodes of external events, in order
+
+	getTxn := func(m map[trace.TxnID]*txnNodes, id trace.TxnID) *txnNodes {
+		tn := m[id]
+		if tn == nil {
+			tn = &txnNodes{call: -1, handle: -1, reply: -1, ret: -1}
+			m[id] = tn
+		}
+		return tn
+	}
+
+	for i := range tr.Entries {
+		e := &tr.Entries[i]
+		id := ps.nodeAt[i] - 1
+		if id < 0 {
+			continue
+		}
+		switch e.Op {
+		case trace.OpFork:
+			if b, ok := ps.begins[e.Target]; ok {
+				ps.addBase(id, b)
+			}
+		case trace.OpJoin:
+			if en, ok := ps.ends[e.Target]; ok {
+				ps.addBase(en, id)
+			}
+		case trace.OpNotify:
+			mp := monitors[e.Monitor]
+			if mp == nil {
+				mp = &monPair{}
+				monitors[e.Monitor] = mp
+			}
+			mp.notifies = append(mp.notifies, id)
+		case trace.OpWait:
+			mp := monitors[e.Monitor]
+			if mp == nil {
+				mp = &monPair{}
+				monitors[e.Monitor] = mp
+			}
+			mp.waits = append(mp.waits, id)
+		case trace.OpSend, trace.OpSendAtFront:
+			if b, ok := ps.begins[e.Target]; ok {
+				ps.addBase(id, b)
+			}
+		case trace.OpRegister:
+			lp := listeners[e.Listener]
+			if lp == nil {
+				lp = &monPair{}
+				listeners[e.Listener] = lp
+			}
+			lp.notifies = append(lp.notifies, id)
+		case trace.OpPerform:
+			lp := listeners[e.Listener]
+			if lp == nil {
+				lp = &monPair{}
+				listeners[e.Listener] = lp
+			}
+			lp.waits = append(lp.waits, id)
+		case trace.OpRPCCall:
+			getTxn(txns, e.Txn).call = id
+		case trace.OpRPCHandle:
+			getTxn(txns, e.Txn).handle = id
+		case trace.OpRPCReply:
+			getTxn(txns, e.Txn).reply = id
+		case trace.OpRPCRet:
+			getTxn(txns, e.Txn).ret = id
+		case trace.OpMsgSend:
+			getTxn(msgs, e.Txn).call = id
+		case trace.OpMsgRecv:
+			getTxn(msgs, e.Txn).handle = id
+		case trace.OpBegin:
+			if e.External {
+				externals = append(externals, id)
+			}
+		}
+	}
+
+	// Signal-and-wait: notify(m) ≺ every later wait(m).
+	for _, mp := range monitors {
+		for _, n := range mp.notifies {
+			for _, w := range mp.waits {
+				if ps.nodes[n].seq < ps.nodes[w].seq {
+					ps.addBase(n, w)
+				}
+			}
+		}
+	}
+	// Event listener: register(l) ≺ every later perform(l).
+	for _, lp := range listeners {
+		for _, r := range lp.notifies {
+			for _, pf := range lp.waits {
+				if ps.nodes[r].seq < ps.nodes[pf].seq {
+					ps.addBase(r, pf)
+				}
+			}
+		}
+	}
+	// IPC transactions.
+	for _, tn := range txns {
+		if tn.call >= 0 && tn.handle >= 0 {
+			ps.addBase(tn.call, tn.handle)
+		}
+		if tn.reply >= 0 && tn.ret >= 0 {
+			ps.addBase(tn.reply, tn.ret)
+		}
+	}
+	for _, tn := range msgs {
+		if tn.call >= 0 && tn.handle >= 0 {
+			ps.addBase(tn.call, tn.handle)
+		}
+	}
+	// External input rule: end(e_i) ≺ begin(e_{i+1}) over external
+	// events in begin order (transitivity chains the rest).
+	sort.Slice(externals, func(i, j int) bool {
+		return ps.nodes[externals[i]].seq < ps.nodes[externals[j]].seq
+	})
+	for i := 1; i < len(externals); i++ {
+		prevTask := ps.nodes[externals[i-1]].task
+		if en, ok := ps.ends[prevTask]; ok {
+			ps.addBase(en, externals[i])
+		}
+	}
+}

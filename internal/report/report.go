@@ -9,11 +9,11 @@ import (
 	"sort"
 	"strings"
 
+	"cafa/internal/analysis"
 	"cafa/internal/apps"
 	"cafa/internal/dataflow"
 	"cafa/internal/detect"
 	"cafa/internal/hb"
-	"cafa/internal/lockset"
 	"cafa/internal/sim"
 	"cafa/internal/trace"
 )
@@ -57,6 +57,8 @@ type RunOptions struct {
 	// Precise enables the static data-flow use-matching extension
 	// (§6.3 future work): Type III false positives disappear.
 	Precise bool
+	// Workers bounds RunAll's app-level concurrency (0 = GOMAXPROCS).
+	Workers int
 }
 
 // RunApp executes one application model and analyzes its trace.
@@ -88,23 +90,11 @@ func RunApp(spec apps.Spec, opts RunOptions) (*AppResult, error) {
 }
 
 func analyze(tr *trace.Trace, b *apps.BuildOut, opts RunOptions) (*AppResult, error) {
-	g, err := hb.Build(tr, hb.Options{})
-	if err != nil {
-		return nil, err
-	}
-	conv, err := hb.Build(tr, hb.Options{Conventional: true})
-	if err != nil {
-		return nil, err
-	}
-	ls, err := lockset.Compute(tr)
-	if err != nil {
-		return nil, err
-	}
-	input := detect.Input{Trace: tr, Graph: g, Conventional: conv, Locks: ls}
+	popts := analysis.Options{Detect: opts.Detect, Naive: opts.Naive}
 	if opts.Precise {
-		input.DerefSources = dataflow.DerefSources(b.Prog)
+		popts.DerefSources = dataflow.DerefSources(b.Prog)
 	}
-	det, err := detect.Detect(input, opts.Detect)
+	det, err := analysis.Analyze(tr, popts)
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +104,7 @@ func analyze(tr *trace.Trace, b *apps.BuildOut, opts RunOptions) (*AppResult, er
 		Events:      tr.EventCount(),
 		Reported:    len(det.Races),
 		DetectStats: det.Stats,
-		HBStats:     g.Stats(),
+		HBStats:     det.GraphStats,
 	}
 	truth := b.TruthByField()
 	seen := make(map[string]bool)
@@ -171,20 +161,24 @@ func analyze(tr *trace.Trace, b *apps.BuildOut, opts RunOptions) (*AppResult, er
 	}
 	sort.Strings(res.Missed)
 	if opts.Naive {
-		res.NaiveRaces = len(detect.Naive(g))
+		res.NaiveRaces = len(det.Naive)
 	}
 	return res, nil
 }
 
-// RunAll evaluates every registered application.
+// RunAll evaluates every registered application. The apps run and
+// analyze concurrently under a bounded worker pool (opts.Workers);
+// results keep registry order and are identical to a serial run.
 func RunAll(opts RunOptions) ([]*AppResult, error) {
-	var out []*AppResult
-	for _, spec := range apps.Registry {
-		r, err := RunApp(spec, opts)
+	out := make([]*AppResult, len(apps.Registry))
+	errs := make([]error, len(apps.Registry))
+	analysis.ForEach(opts.Workers, len(apps.Registry), func(i int) {
+		out[i], errs[i] = RunApp(apps.Registry[i], opts)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, r)
 	}
 	return out, nil
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"cafa/internal/dvm"
 	"cafa/internal/trace"
@@ -413,8 +414,9 @@ func (s *System) doSleep(t *Task, args []dvm.Value) (dvm.Value, bool, error) {
 	return dvm.Value{}, true, nil
 }
 
-// spinSink defeats dead-code elimination in doSpin.
-var spinSink uint64
+// spinSink defeats dead-code elimination in doSpin. Accessed
+// atomically: independent Systems may run concurrently (batch mode).
+var spinSink atomic.Uint64
 
 // doSpin burns host CPU proportional to n — the simulated
 // "application work" whose dilation Fig. 8 measures.
@@ -423,10 +425,10 @@ func (s *System) doSpin(args []dvm.Value) (dvm.Value, bool, error) {
 	if err != nil {
 		return dvm.Value{}, false, err
 	}
-	acc := spinSink
+	acc := spinSink.Load()
 	for i := int64(0); i < n*64; i++ {
 		acc = acc*6364136223846793005 + 1442695040888963407
 	}
-	spinSink = acc
+	spinSink.Store(acc)
 	return dvm.Value{}, false, nil
 }

@@ -1,0 +1,21 @@
+package synth
+
+import "testing"
+
+func TestTraceValidates(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{Chain: 1, EventsPer: 1, FreeThreads: 1},
+		{Chain: 4, EventsPer: 8, FreeThreads: 4},
+		{Chain: 8, EventsPer: 32, FreeThreads: 8},
+		{Chain: 4, EventsPer: 4, FreeThreads: 4, Burst: 6, BurstEvents: 16},
+	} {
+		tr := Trace(cfg)
+		if err := tr.Validate(); err != nil {
+			t.Errorf("Trace(%+v): invalid trace: %v", cfg, err)
+		}
+		if tr.EventCount() == 0 {
+			t.Errorf("Trace(%+v): no events", cfg)
+		}
+	}
+}
