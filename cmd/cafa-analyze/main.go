@@ -179,7 +179,7 @@ func loadTrace(path string) (*trace.Trace, error) {
 		return nil, err
 	}
 	defer f.Close()
-	tr, err := trace.Decode(f)
+	tr, err := trace.DecodeAuto(f)
 	if err != nil {
 		return nil, fmt.Errorf("decode: %w", err)
 	}
@@ -274,6 +274,7 @@ func addStats(dst *detect.Stats, s detect.Stats) {
 	dst.FilteredLockset += s.FilteredLockset
 	dst.FilteredIfGuard += s.FilteredIfGuard
 	dst.FilteredIntraAlloc += s.FilteredIntraAlloc
+	dst.FilteredStaticGuard += s.FilteredStaticGuard
 	dst.Duplicates += s.Duplicates
 }
 

@@ -76,3 +76,28 @@ func TestDirectoryInput(t *testing.T) {
 		t.Error("empty directory: want error, got nil")
 	}
 }
+
+// TestGoldenExplain locks the -explain rendering (why the conventional
+// model hides each race) on the committed ZXing fixture; regenerate
+// with `go test ./cmd/cafa-analyze -update`.
+func TestGoldenExplain(t *testing.T) {
+	args := []string{"-explain", "-stats", "testdata/zxing.trace"}
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_explain.txt")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-explain output diverges from %s (run with -update to regenerate)\n--- got\n%s",
+			golden, buf.String())
+	}
+}

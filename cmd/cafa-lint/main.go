@@ -1,0 +1,374 @@
+// Command cafa-lint runs the whole-program static analysis layer
+// (internal/static) alone — no trace required — and enumerates the
+// statically-possible use-after-free site pairs per field: every
+// dereference whose pointer may originate from a field load, crossed
+// with every null store to the same field, annotated with the static
+// guard and allocation-domination classifications.
+//
+// Given a dynamic report to compare against (a recorded trace via
+// -trace, or a fresh in-process run via -dynamic), it cross-checks
+// the two worlds: each dynamic race is annotated
+// statically-guarded / alloc-safe / static-confirmed /
+// static-unmatched (the latter is the Type III signature — the
+// dynamic matcher blamed sites that do not exist in the bytecode),
+// and static candidates the dynamic run never reported are listed as
+// coverage gaps.
+//
+// Usage:
+//
+//	cafa-lint [-app name|all] [-trace file] [-dynamic]
+//	          [-scale N] [-seed N] [-json] [-bench]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cafa/internal/analysis"
+	"cafa/internal/apps"
+	"cafa/internal/dataflow"
+	"cafa/internal/sim"
+	"cafa/internal/static"
+	"cafa/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "cafa-lint: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	app       string
+	traceFile string
+	dynamic   bool
+	scale     int
+	seed      uint64
+	asJSON    bool
+	bench     bool
+}
+
+func parseArgs(args []string) (*config, error) {
+	fs := flag.NewFlagSet("cafa-lint", flag.ContinueOnError)
+	var (
+		app     = fs.String("app", "all", "application model to lint (name, or 'all')")
+		traceIn = fs.String("trace", "", "recorded trace to cross-check against (single -app only)")
+		dynamic = fs.Bool("dynamic", false, "run the app and the dynamic detector in-process and cross-check")
+		scale   = fs.Int("scale", 16, "event-volume divisor for -dynamic runs")
+		seed    = fs.Uint64("seed", 1, "scheduler seed for -dynamic runs")
+		asJSON  = fs.Bool("json", false, "emit the lint report as JSON")
+		bench   = fs.Bool("bench", false, "emit per-app static-pass timings as JSON (BENCH_static.json)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	cfg := &config{
+		app: *app, traceFile: *traceIn, dynamic: *dynamic,
+		scale: *scale, seed: *seed, asJSON: *asJSON, bench: *bench,
+	}
+	if cfg.traceFile != "" && cfg.app == "all" {
+		return nil, fmt.Errorf("-trace needs a single -app (the trace must match the app's bytecode)")
+	}
+	if cfg.traceFile != "" && cfg.dynamic {
+		return nil, fmt.Errorf("-trace and -dynamic are mutually exclusive")
+	}
+	return cfg, nil
+}
+
+func specs(cfg *config) ([]apps.Spec, error) {
+	if cfg.app == "all" {
+		return apps.Registry, nil
+	}
+	spec, ok := apps.ByName(cfg.app)
+	if !ok {
+		return nil, fmt.Errorf("unknown app %q (known: %v)", cfg.app, apps.Names())
+	}
+	return []apps.Spec{spec}, nil
+}
+
+// appLint is the lint result for one application model.
+type appLint struct {
+	spec apps.Spec
+	b    *apps.BuildOut
+	st   *static.Result
+	// Dynamic cross-check (nil without -trace/-dynamic).
+	tr      *trace.Trace
+	res     *analysis.Result
+	checked []static.CheckedRace
+	gaps    []static.Gap
+}
+
+func run(args []string, stdout io.Writer) error {
+	cfg, err := parseArgs(args)
+	if err != nil {
+		return err
+	}
+	sp, err := specs(cfg)
+	if err != nil {
+		return err
+	}
+	lints := make([]*appLint, len(sp))
+	errs := make([]error, len(sp))
+	analysis.ForEach(0, len(sp), func(i int) {
+		lints[i], errs[i] = lintApp(cfg, sp[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("%s: %w", sp[i].Name, err)
+		}
+	}
+	switch {
+	case cfg.bench:
+		return emitBench(stdout, lints)
+	case cfg.asJSON:
+		return emitJSON(stdout, lints)
+	default:
+		return emitText(stdout, lints)
+	}
+}
+
+func lintApp(cfg *config, spec apps.Spec) (*appLint, error) {
+	// The program text is scale- and seed-independent, so a build at
+	// any scale matches a fixture trace recorded at another.
+	col := trace.NewCollector()
+	b, err := apps.Build(spec, sim.Config{Tracer: col, Seed: cfg.seed}, cfg.scale)
+	if err != nil {
+		return nil, err
+	}
+	l := &appLint{spec: spec, b: b, st: static.Analyze(b.Prog)}
+
+	switch {
+	case cfg.dynamic:
+		if err := b.Sys.Run(); err != nil {
+			return nil, err
+		}
+		l.tr = col.T
+	case cfg.traceFile != "":
+		f, err := os.Open(cfg.traceFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		tr, err := trace.DecodeAuto(f)
+		if err != nil {
+			return nil, fmt.Errorf("decode %s: %w", cfg.traceFile, err)
+		}
+		if err := tr.Validate(); err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.traceFile, err)
+		}
+		l.tr = tr
+	default:
+		return l, nil
+	}
+
+	res, err := analysis.Analyze(l.tr, analysis.Options{})
+	if err != nil {
+		return nil, err
+	}
+	l.res = res
+	l.checked, l.gaps = static.CrossCheck(l.st.Pairs, res.Races)
+	return l, nil
+}
+
+// methodName resolves a method name through the program (static-only
+// runs have no trace tables).
+func (l *appLint) methodName(id trace.MethodID) string {
+	if m := l.st.Graph.MethodByID(id); m != nil {
+		return m.Name
+	}
+	return fmt.Sprintf("method#%d", id)
+}
+
+func (l *appLint) fieldName(id trace.FieldID) string { return l.b.Prog.FieldName(id) }
+
+// pairAnnotations renders the static classification suffix.
+func pairAnnotations(p static.Pair) string {
+	switch {
+	case p.Guarded && p.AllocSafe:
+		return " [statically-guarded, alloc-safe]"
+	case p.Guarded:
+		return " [statically-guarded]"
+	case p.AllocSafe:
+		return " [alloc-safe]"
+	default:
+		return ""
+	}
+}
+
+func emitText(w io.Writer, lints []*appLint) error {
+	for _, l := range lints {
+		st := l.st
+		fmt.Fprintf(w, "=== %s ===\n", l.spec.Name)
+		edges := 0
+		for _, es := range st.Graph.Callees {
+			edges += len(es)
+		}
+		resolved := 0
+		for _, r := range st.Resolutions {
+			if !r.Incomplete {
+				resolved++
+			}
+		}
+		fmt.Fprintf(w, "methods=%d call-edges=%d deref-sites=%d resolved=%d guarded-sites=%d alloc-safe-sites=%d\n",
+			len(st.Graph.Prog.Methods), edges, len(st.Resolutions), resolved, count(st.Guards), count(st.AllocSafe))
+		fmt.Fprintf(w, "candidate use-after-free pairs: %d\n", len(st.Pairs))
+		for _, p := range st.Pairs {
+			fmt.Fprintf(w, "  %s: use %s:%d (load %s:%d) free %s:%d%s\n",
+				l.fieldName(p.Key.Field),
+				l.methodName(p.Key.UseMethod), p.Key.UsePC,
+				l.methodName(p.Load.Method), p.Load.PC,
+				l.methodName(p.Key.FreeMethod), p.Key.FreePC,
+				pairAnnotations(p))
+		}
+		if l.res != nil {
+			fmt.Fprintf(w, "cross-check against dynamic report (%d races):\n", len(l.res.Races))
+			for _, cr := range l.checked {
+				k := cr.Race.Key()
+				fmt.Fprintf(w, "  [%s] %s: use %s:%d free %s:%d (%s)\n",
+					cr.Verdict,
+					l.fieldName(k.Field),
+					l.methodName(k.UseMethod), k.UsePC,
+					l.methodName(k.FreeMethod), k.FreePC,
+					cr.Race.Class)
+			}
+			fmt.Fprintf(w, "coverage gaps (static pairs not dynamically reported): %d\n", len(l.gaps))
+			for _, g := range l.gaps {
+				k := g.Pair.Key
+				fmt.Fprintf(w, "  %s: use %s:%d free %s:%d\n",
+					l.fieldName(k.Field),
+					l.methodName(k.UseMethod), k.UsePC,
+					l.methodName(k.FreeMethod), k.FreePC)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func count(m map[dataflow.Key]bool) int {
+	n := 0
+	for _, v := range m {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// pairJSON is the machine-readable static candidate pair.
+type pairJSON struct {
+	Field      string `json:"field"`
+	UseMethod  string `json:"useMethod"`
+	UsePC      uint32 `json:"usePC"`
+	LoadMethod string `json:"loadMethod"`
+	LoadPC     uint32 `json:"loadPC"`
+	FreeMethod string `json:"freeMethod"`
+	FreePC     uint32 `json:"freePC"`
+	Guarded    bool   `json:"guarded"`
+	AllocSafe  bool   `json:"allocSafe"`
+}
+
+// checkJSON is one cross-checked dynamic race.
+type checkJSON struct {
+	Verdict    string `json:"verdict"`
+	Class      string `json:"class"`
+	Field      string `json:"field"`
+	UseMethod  string `json:"useMethod"`
+	UsePC      uint32 `json:"usePC"`
+	FreeMethod string `json:"freeMethod"`
+	FreePC     uint32 `json:"freePC"`
+}
+
+// appJSON is the per-app lint report.
+type appJSON struct {
+	App        string      `json:"app"`
+	Methods    int         `json:"methods"`
+	DerefSites int         `json:"derefSites"`
+	Pairs      []pairJSON  `json:"pairs"`
+	Checked    []checkJSON `json:"checked,omitempty"`
+	Gaps       []pairJSON  `json:"gaps,omitempty"`
+	DynRaces   int         `json:"dynamicRaces,omitempty"`
+}
+
+func emitJSON(w io.Writer, lints []*appLint) error {
+	out := make([]appJSON, 0, len(lints))
+	for _, l := range lints {
+		a := appJSON{
+			App:        l.spec.Name,
+			Methods:    len(l.b.Prog.Methods),
+			DerefSites: len(l.st.Resolutions),
+			Pairs:      []pairJSON{},
+		}
+		for _, p := range l.st.Pairs {
+			a.Pairs = append(a.Pairs, l.pairJSON(p))
+		}
+		if l.res != nil {
+			a.DynRaces = len(l.res.Races)
+			for _, cr := range l.checked {
+				k := cr.Race.Key()
+				a.Checked = append(a.Checked, checkJSON{
+					Verdict:    cr.Verdict.String(),
+					Class:      cr.Race.Class.String(),
+					Field:      l.fieldName(k.Field),
+					UseMethod:  l.methodName(k.UseMethod),
+					UsePC:      uint32(k.UsePC),
+					FreeMethod: l.methodName(k.FreeMethod),
+					FreePC:     uint32(k.FreePC),
+				})
+			}
+			for _, g := range l.gaps {
+				a.Gaps = append(a.Gaps, l.pairJSON(g.Pair))
+			}
+		}
+		out = append(out, a)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func (l *appLint) pairJSON(p static.Pair) pairJSON {
+	return pairJSON{
+		Field:      l.fieldName(p.Key.Field),
+		UseMethod:  l.methodName(p.Key.UseMethod),
+		UsePC:      uint32(p.Key.UsePC),
+		LoadMethod: l.methodName(p.Load.Method),
+		LoadPC:     uint32(p.Load.PC),
+		FreeMethod: l.methodName(p.Key.FreeMethod),
+		FreePC:     uint32(p.Key.FreePC),
+		Guarded:    p.Guarded,
+		AllocSafe:  p.AllocSafe,
+	}
+}
+
+// benchJSON is one BENCH_static.json row.
+type benchJSON struct {
+	App        string        `json:"app"`
+	Methods    int           `json:"methods"`
+	DerefSites int           `json:"derefSites"`
+	Pairs      int           `json:"pairs"`
+	Timing     static.Timing `json:"timing"`
+}
+
+func emitBench(w io.Writer, lints []*appLint) error {
+	out := make([]benchJSON, 0, len(lints))
+	for _, l := range lints {
+		out = append(out, benchJSON{
+			App:        l.spec.Name,
+			Methods:    len(l.b.Prog.Methods),
+			DerefSites: len(l.st.Resolutions),
+			Pairs:      len(l.st.Pairs),
+			Timing:     l.st.Timing,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

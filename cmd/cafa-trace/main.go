@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	cafa-trace -app MyTracks -o mytracks.trace [-seed 1] [-scale 1] [-text]
+//	cafa-trace -app MyTracks -o mytracks.trace [-seed 1] [-scale 1]
+//	           [-format bin|text] [-text]
 package main
 
 import (
@@ -25,7 +26,8 @@ func main() {
 		out     = flag.String("o", "", "output trace file (default <app>.trace)")
 		seed    = flag.Uint64("seed", 1, "scheduler seed")
 		scale   = flag.Int("scale", 1, "divide benign filler volume (1 = paper event counts)")
-		text    = flag.Bool("text", false, "also dump the trace as text to stdout")
+		format  = flag.String("format", "bin", "output trace format: bin (compact binary) or text (lossless line-oriented)")
+		text    = flag.Bool("text", false, "also dump the trace as human-readable text to stdout (lossy)")
 		list    = flag.Bool("list", false, "list available application models")
 	)
 	flag.Parse()
@@ -62,7 +64,15 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	if err := col.T.Encode(f); err != nil {
+	switch *format {
+	case "bin":
+		err = col.T.Encode(f)
+	case "text":
+		err = col.T.EncodeText(f)
+	default:
+		fail("unknown -format %q (want bin or text)", *format)
+	}
+	if err != nil {
 		fail("encode: %v", err)
 	}
 	if err := f.Close(); err != nil {

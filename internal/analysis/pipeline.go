@@ -19,8 +19,10 @@ import (
 
 	"cafa/internal/dataflow"
 	"cafa/internal/detect"
+	"cafa/internal/dvm"
 	"cafa/internal/hb"
 	"cafa/internal/lockset"
+	"cafa/internal/static"
 	"cafa/internal/trace"
 )
 
@@ -34,10 +36,29 @@ type Options struct {
 	// DerefSources, when non-nil, enables the static data-flow use
 	// matching extension (§6.3); see detect.Input.DerefSources.
 	DerefSources map[dataflow.Key]dataflow.Source
+	// Program, when non-nil, makes the whole-program static passes
+	// (internal/static) available to the pipeline. It is required by
+	// Interproc and StaticGuardPrune and is computed at most once per
+	// Pipeline — the program does not change across traces.
+	Program *dvm.Program
+	// Interproc matches dereferences through the interprocedural
+	// resolution (call-graph def-use chains) instead of the
+	// intra-method DerefSources. Requires Program; overrides
+	// DerefSources.
+	Interproc bool
+	// StaticGuardPrune additionally prunes uses whose deref site the
+	// static if-guard pass proves covered by a null test. Requires
+	// Program.
+	StaticGuardPrune bool
 	// Workers bounds batch-mode concurrency (AnalyzeAll). 0 means
 	// GOMAXPROCS. Per-trace pass concurrency is fixed at the three
 	// independent passes and is not affected.
 	Workers int
+}
+
+// wantStatic reports whether the pipeline needs the static result.
+func (o *Options) wantStatic() bool {
+	return o.Program != nil && (o.Interproc || o.StaticGuardPrune)
 }
 
 // Result is the analysis of one trace.
@@ -61,12 +82,21 @@ type Result struct {
 	Conventional *hb.Graph
 	// Locks are the per-operation held-lock sets.
 	Locks *lockset.Sets
+	// Static is the whole-program static analysis result when the
+	// pipeline computed one (Options.Program with Interproc or
+	// StaticGuardPrune). Shared across traces of one Pipeline.
+	Static *static.Result
 }
 
 // Pipeline is a reusable analyzer. The zero value is ready to use;
 // New applies Options.
 type Pipeline struct {
 	opts Options
+
+	// The static result depends only on the program, so one Pipeline
+	// computes it at most once even across AnalyzeAll batches.
+	staticOnce sync.Once
+	static     *static.Result
 }
 
 // New returns a Pipeline with the given options.
@@ -87,6 +117,7 @@ func (p *Pipeline) Analyze(tr *trace.Trace) (*Result, error) {
 		g, conv              *hb.Graph
 		ls                   *lockset.Sets
 		gErr, convErr, lsErr error
+		st                   *static.Result
 	)
 	wg.Add(3)
 	go func() {
@@ -101,6 +132,17 @@ func (p *Pipeline) Analyze(tr *trace.Trace) (*Result, error) {
 		defer wg.Done()
 		ls, lsErr = lockset.Compute(tr)
 	}()
+	if p.opts.wantStatic() {
+		// The static passes need only the program, not the trace, so
+		// they overlap with the graph builds. sync.Once caches the
+		// result across traces (and makes concurrent first calls safe).
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.staticOnce.Do(func() { p.static = static.Analyze(p.opts.Program) })
+			st = p.static
+		}()
+	}
 	wg.Wait()
 	if gErr != nil {
 		return nil, gErr
@@ -111,13 +153,22 @@ func (p *Pipeline) Analyze(tr *trace.Trace) (*Result, error) {
 	if lsErr != nil {
 		return nil, lsErr
 	}
-	res, err := detect.Detect(detect.Input{
+	in := detect.Input{
 		Trace:        tr,
 		Graph:        g,
 		Conventional: conv,
 		Locks:        ls,
 		DerefSources: p.opts.DerefSources,
-	}, p.opts.Detect)
+	}
+	if st != nil {
+		if p.opts.Interproc {
+			in.DerefSources = st.Derefs
+		}
+		if p.opts.StaticGuardPrune {
+			in.StaticGuards = st.Guards
+		}
+	}
+	res, err := detect.Detect(in, p.opts.Detect)
 	if err != nil {
 		return nil, err
 	}
@@ -130,6 +181,7 @@ func (p *Pipeline) Analyze(tr *trace.Trace) (*Result, error) {
 		Graph:        g,
 		Conventional: conv,
 		Locks:        ls,
+		Static:       st,
 	}
 	if p.opts.Naive {
 		out.Naive = detect.Naive(g)

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"cafa/internal/apps"
+	"cafa/internal/dataflow"
+	"cafa/internal/sim"
+	"cafa/internal/trace"
+)
+
+func appTraceAndProgram(t testing.TB, spec apps.Spec) (*trace.Trace, *apps.BuildOut) {
+	t.Helper()
+	col := trace.NewCollector()
+	out, err := apps.Build(spec, sim.Config{Tracer: col, Seed: 1}, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return col.T, out
+}
+
+// TestStaticGuardPruneDifferential: on the app suite the static
+// if-guard prune changes nothing — every statically guarded use is
+// also caught by the dynamic window heuristic here — so the run with
+// pruning on must be race- and stats-identical to the plain run. The
+// pass only ever fires on guards the dynamic matching loses (see
+// detect's TestStaticGuardPruning); this differential pins down that
+// it cannot introduce divergence elsewhere.
+func TestStaticGuardPruneDifferential(t *testing.T) {
+	for _, spec := range apps.Registry {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			tr, b := appTraceAndProgram(t, spec)
+			plain, err := Analyze(tr, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pruned, err := Analyze(tr, Options{Program: b.Prog, StaticGuardPrune: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pruned.Static == nil {
+				t.Fatal("Result.Static not populated")
+			}
+			if !reflect.DeepEqual(pruned.Races, plain.Races) {
+				t.Errorf("races differ with static guard pruning on:\n  plain:  %+v\n  pruned: %+v",
+					plain.Races, pruned.Races)
+			}
+			if pruned.Stats != plain.Stats {
+				t.Errorf("stats differ: plain %+v, pruned %+v", plain.Stats, pruned.Stats)
+			}
+		})
+	}
+}
+
+// TestInterprocMatchesIntraOnApps: the interprocedural deref
+// resolution must agree with the intra-method §6.3 pass on every app
+// model — wherever the intra pass pins a deref to a load site or a
+// fresh allocation, the interprocedural projection resolves
+// identically, and the handler-parameter cases it cannot close under
+// the open world fall back to dynamic matching exactly like
+// SrcUnknown does. Identical races means in particular the same Type
+// III eliminations (no precision regression).
+func TestInterprocMatchesIntraOnApps(t *testing.T) {
+	for _, spec := range apps.Registry {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			tr, b := appTraceAndProgram(t, spec)
+			intra, err := Analyze(tr, Options{DerefSources: dataflow.DerefSources(b.Prog)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			inter, err := Analyze(tr, Options{Program: b.Prog, Interproc: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(inter.Races, intra.Races) {
+				t.Errorf("races differ:\n  intra: %+v\n  interproc: %+v", intra.Races, inter.Races)
+			}
+			if inter.Stats != intra.Stats {
+				t.Errorf("stats differ: intra %+v, interproc %+v", intra.Stats, inter.Stats)
+			}
+		})
+	}
+}
+
+// TestStaticResultCachedAcrossTraces: one Pipeline computes the
+// static passes once even across a batch.
+func TestStaticResultCachedAcrossTraces(t *testing.T) {
+	spec := apps.Registry[0]
+	tr, b := appTraceAndProgram(t, spec)
+	tr2, _ := appTraceAndProgram(t, spec)
+	p := New(Options{Program: b.Prog, Interproc: true, StaticGuardPrune: true})
+	r1, err := p.Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Analyze(tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Static == nil || r1.Static != r2.Static {
+		t.Error("static result not shared across traces of one Pipeline")
+	}
+}

@@ -1,0 +1,60 @@
+// Package cfg provides the shared control-flow-graph view of dvm
+// bytecode used by every static pass (intra-method reaching
+// definitions in internal/dataflow, the whole-program analyses in
+// internal/static). There is exactly one definition of "successor"
+// and of the exceptional try-handler edges, so the passes can never
+// disagree about the shape of a method.
+package cfg
+
+import "cafa/internal/dvm"
+
+// Successors returns the normal CFG successor pcs of an instruction.
+// Exceptional edges to try handlers are reported separately by
+// TryHandlerEdges because they carry the instruction's PRE-state (a
+// faulting instruction never defines its result).
+func Successors(m *dvm.Method, pc int) []int {
+	in := &m.Code[pc]
+	var out []int
+	switch in.Code {
+	case dvm.CGoto:
+		out = append(out, in.Target)
+	case dvm.CReturnVoid, dvm.CReturn, dvm.CThrow:
+		// no normal successor
+	case dvm.CIfEqz, dvm.CIfNez, dvm.CIfEq,
+		dvm.CIfIntEq, dvm.CIfIntNe, dvm.CIfIntLt, dvm.CIfIntLe, dvm.CIfIntGt, dvm.CIfIntGe:
+		out = append(out, pc+1, in.Target)
+	default:
+		out = append(out, pc+1)
+	}
+	kept := out[:0]
+	for _, s := range out {
+		if s >= 0 && s < len(m.Code) {
+			kept = append(kept, s)
+		}
+	}
+	return kept
+}
+
+// TryHandlerEdges computes exceptional edges: every instruction
+// lexically inside a try/end-try pair may jump to the handler.
+// Dynamic try scopes follow the lexical structure in well-formed
+// code, so a lexical scan with a stack suffices.
+func TryHandlerEdges(m *dvm.Method) map[int][]int {
+	edges := make(map[int][]int)
+	var stack []int // open handler pcs
+	for pc := range m.Code {
+		switch m.Code[pc].Code {
+		case dvm.CTry:
+			stack = append(stack, m.Code[pc].Target)
+		case dvm.CEndTry:
+			if len(stack) > 0 {
+				stack = stack[:len(stack)-1]
+			}
+		default:
+			for _, h := range stack {
+				edges[pc] = append(edges[pc], h)
+			}
+		}
+	}
+	return edges
+}

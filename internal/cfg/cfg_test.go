@@ -1,0 +1,112 @@
+package cfg
+
+import (
+	"reflect"
+	"testing"
+
+	"cafa/internal/asm"
+	"cafa/internal/dvm"
+)
+
+func method(t *testing.T, src, name string) *dvm.Method {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Methods[p.MustMethod(name)]
+}
+
+func TestSuccessors(t *testing.T) {
+	m := method(t, `
+.method f(h, c) regs=5
+    const-int v3, #0       ; pc 0 -> 1
+    if-int-eq c, v3, other ; pc 1 -> 2, 4
+    goto done              ; pc 2 -> 5  (skips pc 3... none; target label)
+    nop                    ; pc 3 -> 4
+other:
+    nop                    ; pc 4 -> 5
+done:
+    return-void            ; pc 5 -> none
+.end
+`, "f")
+	want := map[int][]int{
+		0: {1},
+		1: {2, 4},
+		2: {5},
+		3: {4},
+		4: {5},
+		5: nil,
+	}
+	for pc, w := range want {
+		got := Successors(m, pc)
+		if len(got) == 0 && len(w) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, w) {
+			t.Errorf("Successors(pc=%d) = %v, want %v", pc, got, w)
+		}
+	}
+}
+
+func TestSuccessorsClampsOutOfRange(t *testing.T) {
+	// A trailing fallthrough must not produce a successor past the
+	// method end.
+	m := method(t, `
+.method f(h) regs=2
+    nop
+.end
+`, "f")
+	if got := Successors(m, 0); len(got) != 0 {
+		t.Errorf("trailing nop successors = %v, want none", got)
+	}
+}
+
+func TestTryHandlerEdges(t *testing.T) {
+	m := method(t, `
+.method f(h) regs=3
+    nop                    ; pc 0: outside try
+    try handler            ; pc 1
+    iget v1, h, ptr        ; pc 2: inside
+    end-try                ; pc 3
+    nop                    ; pc 4: outside again
+    return-void            ; pc 5
+handler:
+    return-void            ; pc 6
+.end
+`, "f")
+	edges := TryHandlerEdges(m)
+	if got := edges[2]; !reflect.DeepEqual(got, []int{6}) {
+		t.Errorf("edges[2] = %v, want [6]", got)
+	}
+	for _, pc := range []int{0, 1, 3, 4, 5, 6} {
+		if got := edges[pc]; len(got) != 0 {
+			t.Errorf("edges[%d] = %v, want none", pc, got)
+		}
+	}
+}
+
+func TestNestedTryEdges(t *testing.T) {
+	m := method(t, `
+.method f(h) regs=3
+    try outer              ; pc 0
+    try inner              ; pc 1
+    iget v1, h, ptr        ; pc 2: inside both
+    end-try                ; pc 3
+    iget v1, h, ptr        ; pc 4: inside outer only
+    end-try                ; pc 5
+    return-void            ; pc 6
+inner:
+    return-void            ; pc 7
+outer:
+    return-void            ; pc 8
+.end
+`, "f")
+	edges := TryHandlerEdges(m)
+	if got := edges[2]; !reflect.DeepEqual(got, []int{8, 7}) {
+		t.Errorf("edges[2] = %v, want [8 7]", got)
+	}
+	if got := edges[4]; !reflect.DeepEqual(got, []int{8}) {
+		t.Errorf("edges[4] = %v, want [8]", got)
+	}
+}

@@ -11,11 +11,17 @@
 // produced it — or reports that the object is freshly allocated
 // (never a use) or statically ambiguous (fall back to the dynamic
 // nearest-read heuristic).
+//
+// This package is strictly intra-method. The reaching-definitions
+// core (Reach) is exported so the whole-program layer in
+// internal/static can extend the same solution across method
+// boundaries instead of re-deriving it.
 package dataflow
 
 import (
 	"sort"
 
+	"cafa/internal/cfg"
 	"cafa/internal/dvm"
 	"cafa/internal/trace"
 )
@@ -35,7 +41,8 @@ const (
 	// heuristic.
 	SrcUnknown SourceKind = iota
 	// SrcLoad: the register uniquely comes from the pointer load at
-	// LoadPC in the same method.
+	// LoadPC (in the method named by LoadMethod; zero means the same
+	// method as the dereference).
 	SrcLoad
 	// SrcFresh: the register holds a freshly allocated object (new /
 	// new-array) or a null constant; its dereference can never read a
@@ -47,6 +54,10 @@ const (
 type Source struct {
 	Kind   SourceKind
 	LoadPC trace.PC
+	// LoadMethod names the method containing the load when it differs
+	// from the dereferencing method (interprocedural resolution,
+	// internal/static). Zero means intra-method.
+	LoadMethod trace.MethodID
 }
 
 // DerefSources analyzes every method of a program and returns the
@@ -54,8 +65,13 @@ type Source struct {
 func DerefSources(p *dvm.Program) map[Key]Source {
 	out := make(map[Key]Source)
 	for _, m := range p.Methods {
-		for pc, src := range analyzeMethod(m) {
-			out[Key{Method: m.ID, PC: pc}] = src
+		r := Analyze(m)
+		for pc := range m.Code {
+			reg, ok := DerefReg(&m.Code[pc])
+			if !ok || r.ins[pc] == nil {
+				continue
+			}
+			out[Key{Method: m.ID, PC: trace.PC(pc)}] = r.Resolve(pc, reg)
 		}
 	}
 	return out
@@ -108,8 +124,8 @@ func (s state) merge(o state) bool {
 	return changed
 }
 
-// definedReg returns the register an instruction writes, if any.
-func definedReg(in *dvm.Instr) (dvm.Reg, bool) {
+// DefinedReg returns the register an instruction writes, if any.
+func DefinedReg(in *dvm.Instr) (dvm.Reg, bool) {
 	if in.HasRes {
 		return in.Res, true
 	}
@@ -122,8 +138,8 @@ func definedReg(in *dvm.Instr) (dvm.Reg, bool) {
 	return 0, false
 }
 
-// derefReg returns the register an instruction dereferences, if any.
-func derefReg(in *dvm.Instr) (dvm.Reg, bool) {
+// DerefReg returns the register an instruction dereferences, if any.
+func DerefReg(in *dvm.Instr) (dvm.Reg, bool) {
 	switch in.Code {
 	case dvm.CIget, dvm.CIgetInt, dvm.CIput, dvm.CIputInt,
 		dvm.CAget, dvm.CAgetInt, dvm.CAput, dvm.CAputInt, dvm.CArrayLen:
@@ -136,89 +152,42 @@ func derefReg(in *dvm.Instr) (dvm.Reg, bool) {
 	return 0, false
 }
 
-// successors returns the normal CFG successor pcs of an instruction.
-// Exceptional edges to try handlers are handled separately because
-// they carry the instruction's PRE-state (a faulting instruction
-// never defines its result).
-func successors(m *dvm.Method, pc int) []int {
-	in := &m.Code[pc]
-	var out []int
-	switch in.Code {
-	case dvm.CGoto:
-		out = append(out, in.Target)
-	case dvm.CReturnVoid, dvm.CReturn, dvm.CThrow:
-		// no normal successor
-	case dvm.CIfEqz, dvm.CIfNez, dvm.CIfEq,
-		dvm.CIfIntEq, dvm.CIfIntNe, dvm.CIfIntLt, dvm.CIfIntLe, dvm.CIfIntGt, dvm.CIfIntGe:
-		out = append(out, pc+1, in.Target)
-	default:
-		out = append(out, pc+1)
-	}
-	kept := out[:0]
-	for _, s := range out {
-		if s >= 0 && s < len(m.Code) {
-			kept = append(kept, s)
-		}
-	}
-	return kept
+// Reach is the reaching-definitions solution for one method: per
+// instruction, the set of definition sites that may reach it for each
+// register.
+type Reach struct {
+	m   *dvm.Method
+	ins []state
 }
 
-// tryHandlerEdges computes exceptional edges: every instruction
-// lexically inside a try/end-try pair may jump to the handler.
-func tryHandlerEdges(m *dvm.Method) map[int][]int {
-	edges := make(map[int][]int)
-	type openTry struct {
-		handler int
-	}
-	// Lexical scan with a stack; dynamic try scopes follow the
-	// lexical structure in well-formed code.
-	var stack []openTry
-	for pc := range m.Code {
-		in := &m.Code[pc]
-		switch in.Code {
-		case dvm.CTry:
-			stack = append(stack, openTry{handler: in.Target})
-		case dvm.CEndTry:
-			if len(stack) > 0 {
-				stack = stack[:len(stack)-1]
-			}
-		default:
-			for _, t := range stack {
-				edges[pc] = append(edges[pc], t.handler)
-			}
-		}
-	}
-	return edges
-}
-
-// analyzeMethod runs reaching definitions and resolves each deref
-// site.
-func analyzeMethod(m *dvm.Method) map[trace.PC]Source {
+// Analyze runs reaching definitions over a method's CFG (including
+// exceptional try-handler edges, which carry the pre-state of the
+// faulting instruction).
+func Analyze(m *dvm.Method) *Reach {
 	n := len(m.Code)
+	r := &Reach{m: m, ins: make([]state, n)}
 	if n == 0 {
-		return nil
+		return r
 	}
-	tryEdges := tryHandlerEdges(m)
-	// in-states per pc.
-	ins := make([]state, n)
+	tryEdges := cfg.TryHandlerEdges(m)
 	entry := make(state, m.NumRegs)
-	for r := 0; r < m.NumParams; r++ {
-		entry[r] = defSet{int32(-(1 + r)): struct{}{}}
+	for reg := 0; reg < m.NumParams; reg++ {
+		entry[reg] = defSet{ParamDef(reg): struct{}{}}
 	}
-	ins[0] = entry
+	r.ins[0] = entry
 	work := []int{0}
 	inWork := make([]bool, n)
 	inWork[0] = true
-	propagate := func(s int, st state, work *[]int) {
-		if ins[s] == nil {
-			ins[s] = st.clone()
+	propagate := func(s int, st state) {
+		if r.ins[s] == nil {
+			r.ins[s] = st.clone()
 			if !inWork[s] {
-				*work = append(*work, s)
+				work = append(work, s)
 				inWork[s] = true
 			}
-		} else if ins[s].merge(st) {
+		} else if r.ins[s].merge(st) {
 			if !inWork[s] {
-				*work = append(*work, s)
+				work = append(work, s)
 				inWork[s] = true
 			}
 		}
@@ -227,55 +196,106 @@ func analyzeMethod(m *dvm.Method) map[trace.PC]Source {
 		pc := work[0]
 		work = work[1:]
 		inWork[pc] = false
-		out := ins[pc].clone()
-		if r, ok := definedReg(&m.Code[pc]); ok {
-			out[r] = defSet{int32(pc): {}}
+		out := r.ins[pc].clone()
+		if reg, ok := DefinedReg(&m.Code[pc]); ok {
+			out[reg] = defSet{int32(pc): {}}
 		}
-		for _, s := range successors(m, pc) {
-			propagate(s, out, &work)
+		for _, s := range cfg.Successors(m, pc) {
+			propagate(s, out)
 		}
 		// Exceptional edges: the faulting instruction's definitions do
 		// not happen, so the handler sees the pre-state.
 		for _, h := range tryEdges[pc] {
-			propagate(h, ins[pc], &work)
+			propagate(h, r.ins[pc])
 		}
 	}
-
-	res := make(map[trace.PC]Source)
-	for pc := range m.Code {
-		r, ok := derefReg(&m.Code[pc])
-		if !ok || ins[pc] == nil {
-			continue
-		}
-		res[trace.PC(pc)] = resolve(m, ins, int32(pc), r, 0)
-	}
-	return res
+	return r
 }
 
-// resolve chases a register's unique definition through moves.
-func resolve(m *dvm.Method, ins []state, pc int32, r dvm.Reg, depth int) Source {
-	if depth > 8 || pc < 0 || int(pc) >= len(ins) || ins[pc] == nil {
+// Method returns the analyzed method.
+func (r *Reach) Method() *dvm.Method { return r.m }
+
+// ParamDef encodes a parameter register as a definition site: site
+// values < 0 stand for "defined on entry as parameter reg".
+func ParamDef(reg int) int32 { return int32(-(1 + reg)) }
+
+// ParamIndex decodes a ParamDef site back to its register index.
+func ParamIndex(site int32) int { return int(-site) - 1 }
+
+// Defs returns the definition sites reaching (pc, reg), sorted.
+// Non-negative sites are instruction indexes; negative sites are
+// parameters (decode with ParamIndex). Nil means the pc is
+// unreachable.
+func (r *Reach) Defs(pc int, reg dvm.Reg) []int32 {
+	if pc < 0 || pc >= len(r.ins) || r.ins[pc] == nil || int(reg) >= len(r.ins[pc]) {
+		return nil
+	}
+	d := r.ins[pc][reg]
+	if d == nil {
+		return nil
+	}
+	out := make([]int32, 0, len(d))
+	for k := range d {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// UniqueDef returns the single definition site reaching (pc, reg), or
+// false if there are zero or several.
+func (r *Reach) UniqueDef(pc int, reg dvm.Reg) (int32, bool) {
+	if pc < 0 || pc >= len(r.ins) || r.ins[pc] == nil || int(reg) >= len(r.ins[pc]) {
+		return 0, false
+	}
+	d := r.ins[pc][reg]
+	if len(d) != 1 {
+		return 0, false
+	}
+	for k := range d {
+		return k, true
+	}
+	return 0, false
+}
+
+// Reachable reports whether the instruction at pc is reachable from
+// the method entry (including via exceptional edges).
+func (r *Reach) Reachable(pc int) bool {
+	return pc >= 0 && pc < len(r.ins) && r.ins[pc] != nil
+}
+
+// resolveDepthLimit bounds the move-chain chase in Resolve. Chains
+// deeper than this fall back to SrcUnknown (i.e. the dynamic
+// nearest-read heuristic) — a fallback the interprocedural pass in
+// internal/static deliberately preserves: where this pass says
+// SrcUnknown the detector behaves exactly as without static data.
+const resolveDepthLimit = 8
+
+// Resolve chases a register's unique definition through moves and
+// classifies the dereference source.
+func (r *Reach) Resolve(pc int, reg dvm.Reg) Source {
+	return r.resolve(int32(pc), reg, 0)
+}
+
+func (r *Reach) resolve(pc int32, reg dvm.Reg, depth int) Source {
+	if depth > resolveDepthLimit || pc < 0 || int(pc) >= len(r.ins) || r.ins[pc] == nil {
 		return Source{Kind: SrcUnknown}
 	}
-	defs := ins[pc][r]
-	if len(defs) != 1 {
+	site, ok := r.UniqueDef(int(pc), reg)
+	if !ok {
 		return Source{Kind: SrcUnknown}
-	}
-	var site int32
-	for k := range defs {
-		site = k
 	}
 	if site < 0 {
 		return Source{Kind: SrcUnknown} // parameter: origin outside the method
 	}
-	in := &m.Code[site]
+	in := &r.m.Code[site]
 	switch in.Code {
 	case dvm.CIget, dvm.CSget, dvm.CAget:
 		return Source{Kind: SrcLoad, LoadPC: trace.PC(site)}
 	case dvm.CNew, dvm.CNewArray, dvm.CConstNull:
 		return Source{Kind: SrcFresh}
 	case dvm.CMove:
-		return resolve(m, ins, site, in.B, depth+1)
+		return r.resolve(site, in.B, depth+1)
 	default:
 		return Source{Kind: SrcUnknown}
 	}

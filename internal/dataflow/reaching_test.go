@@ -1,6 +1,7 @@
 package dataflow
 
 import (
+	"strconv"
 	"testing"
 
 	"cafa/internal/asm"
@@ -169,6 +170,62 @@ handler:
 	// The in-try deref after the load is unambiguous.
 	if got := srcs[Key{Method: mid, PC: 3}]; got.Kind != SrcLoad || got.LoadPC != 2 {
 		t.Errorf("in-try deref = %+v, want load at pc 2", got)
+	}
+}
+
+func TestResolveDepthLimit(t *testing.T) {
+	// resolve chases move chains up to resolveDepthLimit hops. A chain
+	// of exactly that many moves still resolves; one more falls back to
+	// SrcUnknown — i.e. to the dynamic nearest-read heuristic. The
+	// interprocedural pass in internal/static must preserve this
+	// fallback: where the static answer is unknown the detector behaves
+	// exactly as it would with no static data at all.
+	chain := func(moves int) string {
+		src := ".method run(this) regs=1\n    return-void\n.end\n\n"
+		src += ".method f(h) regs=16\n    iget v1, h, ptr\n"
+		for i := 0; i < moves; i++ {
+			src += "    move v" + strconv.Itoa(i+2) + ", v" + strconv.Itoa(i+1) + "\n"
+		}
+		src += "    invoke-virtual run, v" + strconv.Itoa(moves+1) + "\n    return-void\n.end\n"
+		return src
+	}
+
+	srcs, mid := sourcesFor(t, chain(resolveDepthLimit), "f")
+	derefPC := trace.PC(1 + resolveDepthLimit)
+	if got := srcs[Key{Method: mid, PC: derefPC}]; got.Kind != SrcLoad || got.LoadPC != 0 {
+		t.Errorf("chain of %d moves = %+v, want load at pc 0", resolveDepthLimit, got)
+	}
+
+	srcs, mid = sourcesFor(t, chain(resolveDepthLimit+1), "f")
+	derefPC = trace.PC(1 + resolveDepthLimit + 1)
+	if got := srcs[Key{Method: mid, PC: derefPC}]; got.Kind != SrcUnknown {
+		t.Errorf("chain of %d moves = %+v, want SrcUnknown fallback", resolveDepthLimit+1, got)
+	}
+}
+
+func TestHandlerSeesPreStateOfFaultingLoad(t *testing.T) {
+	// Exceptional edges carry the PRE-state of the faulting
+	// instruction: if the only definition inside the try is the
+	// faulting load itself, that definition never reaches the handler,
+	// so the handler's deref still resolves to the load before the try.
+	srcs, mid := sourcesFor(t, `
+.method run(this) regs=1
+    return-void
+.end
+
+.method f(h) regs=4
+    iget v1, h, ptrA       ; pc 0
+    try handler
+    iget v1, h, ptrB       ; pc 2: faults before defining v1
+    end-try
+    return-void
+handler:
+    invoke-virtual run, v1 ; pc 5
+    return-void
+.end
+`, "f")
+	if got := srcs[Key{Method: mid, PC: 5}]; got.Kind != SrcLoad || got.LoadPC != 0 {
+		t.Errorf("handler deref = %+v, want load at pc 0 (pre-state)", got)
 	}
 }
 

@@ -115,6 +115,7 @@ type Stats struct {
 	FilteredLockset     int
 	FilteredIfGuard     int
 	FilteredIntraAlloc  int
+	FilteredStaticGuard int // pruned by the static if-guard classification
 	Duplicates          int
 }
 
@@ -142,6 +143,13 @@ type Input struct {
 	// positives. It requires the application's bytecode and is
 	// therefore optional.
 	DerefSources map[dataflow.Key]dataflow.Source
+	// StaticGuards, when non-nil, marks dereference sites covered by
+	// a static null-test (internal/static's Figure 6 on the CFG).
+	// Uses at marked sites are pruned like dynamically-guarded ones —
+	// the static pass catches guards the trace-window matching misses
+	// (e.g. when an aliased read evicts the tested pointer's last
+	// read). Plain data keeps detect independent of internal/static.
+	StaticGuards map[dataflow.Key]bool
 }
 
 // Detect runs the use-free race detector (§4.2, §4.3).
@@ -189,6 +197,11 @@ func Detect(in Input, opts Options) (*Result, error) {
 				}
 				if !opts.DisableIfGuard && ex.guarded(u) {
 					res.Stats.FilteredIfGuard++
+					continue
+				}
+				if !opts.DisableIfGuard && in.StaticGuards != nil &&
+					in.StaticGuards[dataflow.Key{Method: u.Method, PC: u.DerefPC}] {
+					res.Stats.FilteredStaticGuard++
 					continue
 				}
 			}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"cafa/internal/asm"
+	"cafa/internal/dataflow"
 	"cafa/internal/dvm"
 	"cafa/internal/hb"
 	"cafa/internal/lockset"
@@ -526,7 +527,7 @@ func TestGuardRegions(t *testing.T) {
 		{trace.BranchIfEq, 10, 20, 22, 11},
 	}
 	for _, c := range cases {
-		lo, hi := guardRegion(c.kind, c.pc, c.target)
+		lo, hi := GuardRegion(c.kind, c.pc, c.target)
 		if !(c.in >= lo && c.in < hi) {
 			t.Errorf("%v pc=%d target=%d: pc %d should be in [%d,%d)", c.kind, c.pc, c.target, c.in, lo, hi)
 		}
@@ -558,5 +559,122 @@ func TestCountByClass(t *testing.T) {
 	a, b, c := r.CountByClass()
 	if a != 1 || b != 2 || c != 1 {
 		t.Errorf("counts = %d/%d/%d", a, b, c)
+	}
+}
+
+// aliasEvictSrc is the case the static if-guard pass exists for: the
+// tested pointer's last read is evicted by an aliased read of the
+// same object between the branch and the dereference, so the dynamic
+// window matching binds the use to aliasQ but the guard to ptrQ and
+// fails to prune. Statically the deref register chains to the ptrQ
+// load the branch tests, inside the Figure 6 region.
+const aliasEvictSrc = `
+.method sink(o) regs=1
+    return-void
+.end
+
+.method setup(act) regs=2
+    new v1, Obj
+    iput v1, act, ptrQ
+    iput v1, act, aliasQ
+    return-void
+.end
+
+.method doUse(act) regs=3
+    iget v1, act, ptrQ
+    if-eqz v1, out
+    iget v2, act, aliasQ
+    invoke-virtual sink, v1
+out:
+    return-void
+.end
+
+.method onBind(act) regs=5
+    sget-int v1, mainQ
+    const-method v2, doUse
+    const-int v3, #0
+    send v1, v2, v3, act
+    const-int v4, #0
+    return v4
+.end
+
+.method onStart(act) regs=4
+    sget-int v1, svc
+    const-method v2, onBind
+    rpc v1, v2, act -> v3
+    return-void
+.end
+
+.method onFree(act) regs=2
+    const-null v1
+    iput v1, act, aliasQ
+    return-void
+.end
+`
+
+func buildAliasEvict(t *testing.T) func(s *sim.System, p *dvm.Program) {
+	return func(s *sim.System, p *dvm.Program) {
+		main := s.AddLooper("main", 0)
+		svc := s.AddService("Svc", 1)
+		s.Heap().SetStatic(p.FieldID("mainQ"), dvm.Int64(main.Handle()))
+		s.Heap().SetStatic(p.FieldID("svc"), dvm.Int64(svc))
+		act := s.Heap().New("Activity")
+		for i, m := range []string{"setup", "onStart", "onFree"} {
+			if err := s.Inject(int64(100*i), main, m, dvm.Obj(act.ID), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestStaticGuardPruning checks the StaticGuards input: a guarded use
+// the dynamic heuristic misses (alias eviction) is reported without
+// it, pruned with it, and kept again under DisableIfGuard (the static
+// prune rides the same ablation flag).
+func TestStaticGuardPruning(t *testing.T) {
+	res, _ := pipeline(t, aliasEvictSrc, Options{}, buildAliasEvict(t))
+	if len(res.Races) != 1 {
+		t.Fatalf("without static guards: races = %d (%+v), want 1 (dynamic matching must miss this guard)", len(res.Races), res.Stats)
+	}
+	if res.Stats.FilteredIfGuard != 0 {
+		t.Fatalf("FilteredIfGuard = %d, want 0: the dynamic heuristic should not see this guard", res.Stats.FilteredIfGuard)
+	}
+	u := res.Races[0].Use
+
+	// Re-run with the deref site statically marked guarded.
+	p, err := asm.Assemble(aliasEvictSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := trace.NewCollector()
+	s := sim.NewSystem(p, sim.Config{Tracer: col, Seed: 1})
+	buildAliasEvict(t)(s, p)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := hb.Build(col.T, hb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guards := map[dataflow.Key]bool{{Method: u.Method, PC: u.DerefPC}: true}
+	got, err := Detect(Input{Trace: col.T, Graph: g, StaticGuards: guards}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Races) != 0 {
+		t.Errorf("with static guards: races = %d, want 0", len(got.Races))
+	}
+	if got.Stats.FilteredStaticGuard != 1 {
+		t.Errorf("FilteredStaticGuard = %d, want 1", got.Stats.FilteredStaticGuard)
+	}
+
+	// DisableIfGuard must disable the static prune too.
+	got, err = Detect(Input{Trace: col.T, Graph: g, StaticGuards: guards}, Options{DisableIfGuard: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Races) != 1 || got.Stats.FilteredStaticGuard != 0 {
+		t.Errorf("DisableIfGuard: races = %d, FilteredStaticGuard = %d; want 1, 0",
+			len(got.Races), got.Stats.FilteredStaticGuard)
 	}
 }

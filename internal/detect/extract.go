@@ -140,7 +140,14 @@ func extract(tr *trace.Trace, sources map[dataflow.Key]dataflow.Source) *extract
 					// Freshly allocated object: never a use.
 					continue
 				case known && src.Kind == dataflow.SrcLoad:
-					lr, ok = readsBySite[e.Task][siteKey{e.Method, src.LoadPC}]
+					// LoadMethod 0 means the load is in the deref's own
+					// method; otherwise the interprocedural resolution
+					// placed it in a caller (same task, earlier frame).
+					lm := src.LoadMethod
+					if lm == 0 {
+						lm = e.Method
+					}
+					lr, ok = readsBySite[e.Task][siteKey{lm, src.LoadPC}]
 				default:
 					lr, ok = reads[e.Task][e.Value]
 				}

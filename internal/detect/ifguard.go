@@ -2,13 +2,15 @@ package detect
 
 import "cafa/internal/trace"
 
-// guardRegion returns the half-open PC interval [lo, hi) within the
-// guard's method in which a dereference of the tested pointer is
-// assumed safe (Figure 6). maxPC stands in for the end of the
-// function (∞ in the figure).
+// maxPC stands in for the end of the function (∞ in Figure 6).
 const maxPC = trace.PC(1<<32 - 1)
 
-func guardRegion(kind trace.BranchKind, pc, target trace.PC) (lo, hi trace.PC) {
+// GuardRegion returns the half-open PC interval [lo, hi) within the
+// guard's method in which a dereference of the tested pointer is
+// assumed safe (Figure 6). It is exported so the static if-guard pass
+// in internal/static evaluates exactly the same region on the CFG
+// that the dynamic heuristic evaluates on the trace window.
+func GuardRegion(kind trace.BranchKind, pc, target trace.PC) (lo, hi trace.PC) {
 	switch kind {
 	case trace.BranchIfEqz:
 		// Logged when NOT taken: the fallthrough path has a non-null
@@ -43,7 +45,7 @@ func (ex *extraction) guarded(u Use) bool {
 		if g.vr != u.Var || g.method != u.Method {
 			continue
 		}
-		lo, hi := guardRegion(g.kind, g.pc, g.target)
+		lo, hi := GuardRegion(g.kind, g.pc, g.target)
 		if u.DerefPC >= lo && u.DerefPC < hi {
 			return true
 		}

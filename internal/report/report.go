@@ -57,6 +57,16 @@ type RunOptions struct {
 	// Precise enables the static data-flow use-matching extension
 	// (§6.3 future work): Type III false positives disappear.
 	Precise bool
+	// Interproc matches uses through the interprocedural def-use
+	// resolution (internal/static) instead of the intra-method pass.
+	// Implies the Precise guarantees: it never resolves a deref to a
+	// site the intra-method pass pinpoints differently, so Type III
+	// false positives disappear here too.
+	Interproc bool
+	// StaticGuards prunes uses at statically-proven guarded deref
+	// sites (the static Figure 6 pass) on top of the dynamic if-guard
+	// heuristic.
+	StaticGuards bool
 	// Workers bounds RunAll's app-level concurrency (0 = GOMAXPROCS).
 	Workers int
 }
@@ -93,6 +103,11 @@ func analyze(tr *trace.Trace, b *apps.BuildOut, opts RunOptions) (*AppResult, er
 	popts := analysis.Options{Detect: opts.Detect, Naive: opts.Naive}
 	if opts.Precise {
 		popts.DerefSources = dataflow.DerefSources(b.Prog)
+	}
+	if opts.Interproc || opts.StaticGuards {
+		popts.Program = b.Prog
+		popts.Interproc = opts.Interproc
+		popts.StaticGuardPrune = opts.StaticGuards
 	}
 	det, err := analysis.Analyze(tr, popts)
 	if err != nil {
@@ -152,7 +167,7 @@ func analyze(tr *trace.Trace, b *apps.BuildOut, opts RunOptions) (*AppResult, er
 		if pl.Label == apps.LabelFiltered {
 			continue // absence is the expected outcome
 		}
-		if opts.Precise && pl.Label == apps.LabelFP3 {
+		if (opts.Precise || opts.Interproc) && pl.Label == apps.LabelFP3 {
 			continue // the data-flow extension eliminates these by design
 		}
 		if !seen[pl.Field] {

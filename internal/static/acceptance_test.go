@@ -1,0 +1,134 @@
+package static_test
+
+import (
+	"strings"
+	"testing"
+
+	"cafa/internal/analysis"
+	"cafa/internal/apps"
+	"cafa/internal/detect"
+	"cafa/internal/sim"
+	"cafa/internal/static"
+	"cafa/internal/trace"
+)
+
+// TestStaticCoversDynamic is the cross-check acceptance property over
+// all ten app models: every race the dynamic detector reports on a
+// planted field that really is (or appears to be) a use-after-free —
+// the harmful classes plus the Type I/II false positives, which are
+// real site pairs the static world can see — must be enumerated as a
+// static candidate pair with the exact same SiteKey. The Type III
+// plants are the converse check: the dynamic report blames a site
+// pair that does not exist in the bytecode, so the static pre-pass
+// must NOT have a pair for it — that mismatch is the Type III signal
+// cafa-lint surfaces as `static-unmatched`.
+func TestStaticCoversDynamic(t *testing.T) {
+	const scale = 16
+	for _, spec := range apps.Registry {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			col := trace.NewCollector()
+			b, err := apps.Build(spec, sim.Config{Tracer: col, Seed: 1}, scale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Sys.Run(); err != nil {
+				t.Fatal(err)
+			}
+			res, err := analysis.Analyze(col.T, analysis.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := static.Analyze(b.Prog)
+			pairKeys := make(map[detect.SiteKey]bool, len(st.Pairs))
+			for _, p := range st.Pairs {
+				pairKeys[p.Key] = true
+			}
+			truth := b.TruthByField()
+			checked, _ := static.CrossCheck(st.Pairs, res.Races)
+			for _, cr := range checked {
+				field := col.T.FieldName(cr.Race.Use.Var.Field())
+				pl, planted := truth[field]
+				if !planted {
+					continue
+				}
+				k := cr.Race.Key()
+				switch pl.Label {
+				case apps.LabelFP3:
+					if pairKeys[k] {
+						t.Errorf("%s: Type III race %+v has a static pair; the blamed sites should not exist", field, k)
+					}
+					if cr.Verdict != static.VerdictUnmatched {
+						t.Errorf("%s: Type III verdict = %s, want static-unmatched", field, cr.Verdict)
+					}
+				default:
+					if !pairKeys[k] {
+						t.Errorf("%s (%s): dynamic race %+v missing from static pairs", field, pl.Label, k)
+					}
+					if cr.Verdict != static.VerdictStaticConfirmed {
+						t.Errorf("%s (%s): verdict = %s, want static-confirmed", field, pl.Label, cr.Verdict)
+					}
+				}
+			}
+			// Every harmful plant must be dynamically reported at this
+			// scale (the suite's standing property) — so the loop above
+			// really did check a static pair for each of them.
+			reportedFields := make(map[string]bool)
+			for _, r := range res.Races {
+				reportedFields[col.T.FieldName(r.Use.Var.Field())] = true
+			}
+			for _, pl := range b.Truth {
+				if pl.Label.Harmful() && !reportedFields[pl.Field] {
+					t.Errorf("harmful plant %s not dynamically reported at scale %d", pl.Field, scale)
+				}
+			}
+		})
+	}
+}
+
+// TestStaticGuardsMatchFilteredPlants asserts the static heuristic
+// passes classify the benign plants: every guardedBenign onFocus use
+// is statically guarded and every onResume use is alloc-safe, on app
+// models that carry them.
+func TestStaticGuardsClassifyBenignPlants(t *testing.T) {
+	checkedApps := 0
+	for _, spec := range apps.Registry {
+		col := trace.NewCollector()
+		b, err := apps.Build(spec, sim.Config{Tracer: col, Seed: 1}, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := static.Analyze(b.Prog)
+		sawGuarded := false
+		for _, p := range st.Pairs {
+			name := b.Prog.FieldName(p.Key.Field)
+			um := st.Graph.MethodByID(p.Key.UseMethod)
+			if um == nil {
+				t.Fatalf("%s: pair names unknown method %d", spec.Name, p.Key.UseMethod)
+			}
+			switch {
+			case strings.HasPrefix(um.Name, "onFocus_"):
+				if !p.Guarded {
+					t.Errorf("%s: %s use in %s not statically guarded", spec.Name, name, um.Name)
+				}
+				sawGuarded = true
+			case strings.HasPrefix(um.Name, "onResume_") && strings.HasPrefix(name, "ptr_"):
+				if !p.AllocSafe {
+					t.Errorf("%s: %s use in %s not alloc-safe", spec.Name, name, um.Name)
+				}
+			case strings.HasPrefix(um.Name, "lockedUse_"):
+				if !p.Guarded {
+					t.Errorf("%s: %s use in %s not statically guarded", spec.Name, name, um.Name)
+				}
+				sawGuarded = true
+			}
+		}
+		if sawGuarded {
+			checkedApps++
+		}
+	}
+	if checkedApps == 0 {
+		t.Fatal("no app model carried a guarded-benign plant; assertion vacuous")
+	}
+}

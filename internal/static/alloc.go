@@ -1,0 +1,190 @@
+package static
+
+import (
+	"cafa/internal/cfg"
+	"cafa/internal/dataflow"
+	"cafa/internal/dvm"
+	"cafa/internal/trace"
+)
+
+// AllocSafe computes the static analog of the intra-event-allocation
+// heuristic: a dereference is alloc-safe when the pointer it uses was
+// loaded from a field that, on every path from the handler's entry to
+// the load, was last stored with a freshly allocated object inside
+// the same method. Such a load can never observe a stale pointer
+// freed by a concurrent event, so reporting it is always a false
+// positive — the onResume re-allocation pattern of Figure 5.
+//
+// The pass is a forward must-analysis over the CFG: the state is the
+// set of fields definitely holding a fresh allocation, intersected at
+// joins, cleared by calls and intrinsics (a callee may store
+// anything), and invalidated per field by any non-fresh store.
+func AllocSafe(cg *CallGraph) map[dataflow.Key]bool {
+	out := make(map[dataflow.Key]bool)
+	for _, m := range cg.Prog.Methods {
+		r := cg.Reach[m.ID]
+		freshLoads := freshLoadSites(m, r)
+		if len(freshLoads) == 0 {
+			continue
+		}
+		// A deref is alloc-safe when its value comes only from
+		// fresh-dominated loads (or fresh allocations directly).
+		for pc := range m.Code {
+			reg, ok := dataflow.DerefReg(&m.Code[pc])
+			if !ok || !r.Reachable(pc) {
+				continue
+			}
+			origin, ok := chaseUnique(m, r, pc, reg)
+			if !ok || origin < 0 {
+				continue
+			}
+			if freshLoads[origin] {
+				out[dataflow.Key{Method: m.ID, PC: trace.PC(pc)}] = true
+			}
+		}
+	}
+	return out
+}
+
+// freshLoadSites returns the load sites (by pc) whose field is
+// definitely freshly stored on every path from entry.
+func freshLoadSites(m *dvm.Method, r *dataflow.Reach) map[int32]bool {
+	n := len(m.Code)
+	if n == 0 {
+		return nil
+	}
+	// in[pc] is the must-fresh field set; nil = unvisited (top).
+	in := make([]map[trace.FieldID]bool, n)
+	in[0] = map[trace.FieldID]bool{}
+	tryEdges := cfg.TryHandlerEdges(m)
+	work := []int{0}
+	for len(work) > 0 {
+		pc := work[0]
+		work = work[1:]
+		out := transferFresh(m, r, pc, in[pc])
+		for _, s := range cfg.Successors(m, pc) {
+			if propagateMust(in, s, out) {
+				work = append(work, s)
+			}
+		}
+		// Exceptional edges carry the pre-state, like reaching defs.
+		for _, h := range tryEdges[pc] {
+			if propagateMust(in, h, in[pc]) {
+				work = append(work, h)
+			}
+		}
+	}
+	loads := make(map[int32]bool)
+	for pc := range m.Code {
+		inst := &m.Code[pc]
+		if (inst.Code == dvm.CIget || inst.Code == dvm.CSget) && in[pc] != nil && in[pc][inst.Field] {
+			loads[int32(pc)] = true
+		}
+	}
+	return loads
+}
+
+// transferFresh applies one instruction to the must-fresh set.
+func transferFresh(m *dvm.Method, r *dataflow.Reach, pc int, state map[trace.FieldID]bool) map[trace.FieldID]bool {
+	in := &m.Code[pc]
+	out := make(map[trace.FieldID]bool, len(state))
+	for f := range state {
+		out[f] = true
+	}
+	switch in.Code {
+	case dvm.CIput, dvm.CSput:
+		if origin, ok := chaseUnique(m, r, pc, in.A); ok && origin >= 0 && m.Code[origin].Code == dvm.CNew {
+			out[in.Field] = true
+		} else {
+			delete(out, in.Field)
+		}
+	case dvm.CIputInt, dvm.CSputInt:
+		delete(out, in.Field)
+	case dvm.CInvokeVirtual, dvm.CInvokeStatic, dvm.CInvokeValue, dvm.CIntrinsic:
+		// A callee (or another event reached through an intrinsic)
+		// may overwrite any field.
+		return map[trace.FieldID]bool{}
+	}
+	return out
+}
+
+// propagateMust intersects out into in[s]; returns true when in[s]
+// changed (or was first visited).
+func propagateMust(in []map[trace.FieldID]bool, s int, out map[trace.FieldID]bool) bool {
+	if in[s] == nil {
+		c := make(map[trace.FieldID]bool, len(out))
+		for f := range out {
+			c[f] = true
+		}
+		in[s] = c
+		return true
+	}
+	changed := false
+	for f := range in[s] {
+		if !out[f] {
+			delete(in[s], f)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// NonEscaping computes the intra-event escape classification: the
+// new-object sites whose object never leaves the allocating method —
+// not stored to any field, array, or static, not passed to a call or
+// intrinsic, and not returned. A non-escaping allocation can never be
+// the object of a cross-event use-free pair.
+func NonEscaping(cg *CallGraph) map[dataflow.Key]bool {
+	out := make(map[dataflow.Key]bool)
+	for _, m := range cg.Prog.Methods {
+		r := cg.Reach[m.ID]
+		escaped := make(map[int32]bool)
+		// mark records every new-site that MAY flow into reg at pc —
+		// escape must over-approximate, so move chains fan out over
+		// all reaching definitions.
+		var markSite func(site int32, depth int)
+		markSite = func(site int32, depth int) {
+			if site < 0 || depth > len(m.Code) {
+				return
+			}
+			switch m.Code[site].Code {
+			case dvm.CNew:
+				escaped[site] = true
+			case dvm.CMove:
+				for _, d := range r.Defs(int(site), m.Code[site].B) {
+					markSite(d, depth+1)
+				}
+			}
+		}
+		mark := func(pc int, reg dvm.Reg) {
+			for _, d := range r.Defs(pc, reg) {
+				markSite(d, 0)
+			}
+		}
+		for pc := range m.Code {
+			in := &m.Code[pc]
+			if !r.Reachable(pc) {
+				continue
+			}
+			switch in.Code {
+			case dvm.CIput, dvm.CSput, dvm.CAput:
+				mark(pc, in.A) // stored value
+			case dvm.CReturn:
+				mark(pc, in.A)
+			case dvm.CInvokeVirtual, dvm.CInvokeStatic, dvm.CInvokeValue, dvm.CIntrinsic:
+				for _, a := range in.Args {
+					mark(pc, a)
+				}
+				if in.Code == dvm.CInvokeValue {
+					mark(pc, in.A)
+				}
+			}
+		}
+		for pc := range m.Code {
+			if m.Code[pc].Code == dvm.CNew && r.Reachable(pc) && !escaped[int32(pc)] {
+				out[dataflow.Key{Method: m.ID, PC: trace.PC(pc)}] = true
+			}
+		}
+	}
+	return out
+}

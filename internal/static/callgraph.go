@@ -1,0 +1,323 @@
+package static
+
+import (
+	"sort"
+
+	"cafa/internal/dataflow"
+	"cafa/internal/dvm"
+	"cafa/internal/trace"
+)
+
+// EdgeKind classifies how control reaches a callee.
+type EdgeKind uint8
+
+// Edge kinds.
+const (
+	// KindCall: direct invoke-virtual / invoke-static / resolved
+	// invoke-value in the same task.
+	KindCall EdgeKind = iota
+	// KindPost: send / send-front — the callee runs as a separate
+	// looper event.
+	KindPost
+	// KindFork: fork — the callee runs as a new thread.
+	KindFork
+	// KindRPC: rpc — the callee runs on a binder thread in the
+	// service process.
+	KindRPC
+	// KindListener: register/fire pair matched by listener id — the
+	// callee runs inline at the fire site.
+	KindListener
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case KindCall:
+		return "call"
+	case KindPost:
+		return "post"
+	case KindFork:
+		return "fork"
+	case KindRPC:
+		return "rpc"
+	case KindListener:
+		return "listener"
+	default:
+		return "edge?"
+	}
+}
+
+// Edge is one call-graph edge: the call site in Caller transfers
+// control (possibly asynchronously) to Callee.
+type Edge struct {
+	Caller trace.MethodID
+	PC     trace.PC
+	Callee trace.MethodID
+	Kind   EdgeKind
+	// ArgRegs[i] is the caller register whose value becomes callee
+	// parameter i. ArgsKnown is false when the binding could not be
+	// resolved (the callee's parameters must then be treated as
+	// unknown).
+	ArgRegs   []dvm.Reg
+	ArgsKnown bool
+}
+
+// CallGraph is the whole-program call graph plus the per-method
+// reaching-definitions solutions every static pass shares.
+type CallGraph struct {
+	Prog *dvm.Program
+	// Reach holds the intra-method reaching-definitions solution for
+	// every method, keyed by method ID.
+	Reach map[trace.MethodID]*dataflow.Reach
+	// Callers and Callees index edges by the callee / caller method.
+	Callers map[trace.MethodID][]Edge
+	Callees map[trace.MethodID][]Edge
+	// Unresolved marks methods whose parameters cannot be trusted to
+	// the static caller set: some call site takes an unresolvable
+	// method handle or listener id, so any handle-taken method may be
+	// invoked with unknown arguments. (Methods with zero static
+	// callers are implicitly unresolved too: the runtime wires entry
+	// points — thread bodies, injected events — outside the bytecode,
+	// the closed-world caveat of this analysis.)
+	Unresolved map[trace.MethodID]bool
+
+	methods map[trace.MethodID]*dvm.Method
+}
+
+// MethodByID returns a method by its trace ID.
+func (cg *CallGraph) MethodByID(id trace.MethodID) *dvm.Method { return cg.methods[id] }
+
+// BuildCallGraph scans every method's invoke instructions and
+// intrinsic call sites (send, fork, rpc, register/fire) and resolves
+// method-handle and listener-id operands through the
+// reaching-definitions solution.
+func BuildCallGraph(p *dvm.Program) *CallGraph {
+	cg := &CallGraph{
+		Prog:       p,
+		Reach:      make(map[trace.MethodID]*dataflow.Reach, len(p.Methods)),
+		Callers:    make(map[trace.MethodID][]Edge),
+		Callees:    make(map[trace.MethodID][]Edge),
+		Unresolved: make(map[trace.MethodID]bool),
+		methods:    make(map[trace.MethodID]*dvm.Method, len(p.Methods)),
+	}
+	for _, m := range p.Methods {
+		cg.methods[m.ID] = m
+		cg.Reach[m.ID] = dataflow.Analyze(m)
+	}
+
+	// Listener registrations and fires are matched by constant id in a
+	// second pass, after all registrations are known.
+	type registration struct {
+		callee *dvm.Method
+	}
+	type fireSite struct {
+		caller *dvm.Method
+		pc     int
+		argReg dvm.Reg
+		hasArg bool
+		lid    int64
+		known  bool
+	}
+	regs := make(map[int64][]registration)
+	var fires []fireSite
+	anyUnresolvedHandle := false
+	handleTaken := make(map[trace.MethodID]bool)
+
+	for _, m := range p.Methods {
+		r := cg.Reach[m.ID]
+		for pc := range m.Code {
+			in := &m.Code[pc]
+			if in.Code == dvm.CConstMethod {
+				handleTaken[p.Methods[in.MethodIdx].ID] = true
+			}
+			if !r.Reachable(pc) {
+				continue
+			}
+			switch in.Code {
+			case dvm.CInvokeVirtual, dvm.CInvokeStatic:
+				// Args line up with callee parameters directly; for
+				// invoke-virtual, Args[0] is the receiver and also
+				// parameter 0.
+				callee := p.Methods[in.MethodIdx]
+				cg.addEdge(Edge{
+					Caller: m.ID, PC: trace.PC(pc), Callee: callee.ID, Kind: KindCall,
+					ArgRegs: bindArgs(in.Args, callee.NumParams), ArgsKnown: len(in.Args) >= callee.NumParams,
+				})
+			case dvm.CInvokeValue:
+				if callee, ok := cg.methodHandle(m, r, pc, in.A); ok {
+					cg.addEdge(Edge{
+						Caller: m.ID, PC: trace.PC(pc), Callee: callee.ID, Kind: KindCall,
+						ArgRegs: bindArgs(in.Args, callee.NumParams), ArgsKnown: len(in.Args) >= callee.NumParams,
+					})
+				} else {
+					anyUnresolvedHandle = true
+				}
+			case dvm.CIntrinsic:
+				switch in.Intr {
+				case dvm.IntrSend: // send(queue, method, delay, arg)
+					cg.intrinsicEdge(m, r, pc, in, 1, 3, &anyUnresolvedHandle)
+				case dvm.IntrSendFront: // sendFront(queue, method, arg)
+					cg.intrinsicEdge(m, r, pc, in, 1, 2, &anyUnresolvedHandle)
+				case dvm.IntrFork: // fork(method, arg)
+					cg.intrinsicEdge(m, r, pc, in, 0, 1, &anyUnresolvedHandle)
+				case dvm.IntrRPC: // rpc(service, method, arg)
+					cg.intrinsicEdge(m, r, pc, in, 1, 2, &anyUnresolvedHandle)
+				case dvm.IntrRegister: // register(listener, method)
+					callee, ok := cg.methodHandle(m, r, pc, argReg(in, 1))
+					if !ok {
+						anyUnresolvedHandle = true
+						continue
+					}
+					if lid, ok := cg.constInt(m, r, pc, argReg(in, 0)); ok {
+						regs[lid] = append(regs[lid], registration{callee: callee})
+					} else {
+						// Listener id unknown: any fire may reach it.
+						cg.Unresolved[callee.ID] = true
+					}
+				case dvm.IntrFire: // fire(listener, arg)
+					fs := fireSite{caller: m, pc: pc}
+					if len(in.Args) > 1 {
+						fs.argReg, fs.hasArg = in.Args[1], true
+					}
+					fs.lid, fs.known = cg.constInt(m, r, pc, argReg(in, 0))
+					fires = append(fires, fs)
+				}
+			}
+		}
+	}
+
+	for _, fs := range fires {
+		if !fs.known {
+			// Unknown fire target: every registered handler may run
+			// with unknown arguments.
+			for _, rs := range regs {
+				for _, reg := range rs {
+					cg.Unresolved[reg.callee.ID] = true
+				}
+			}
+			continue
+		}
+		for _, reg := range regs[fs.lid] {
+			e := Edge{
+				Caller: fs.caller.ID, PC: trace.PC(fs.pc), Callee: reg.callee.ID,
+				Kind: KindListener, ArgsKnown: true,
+			}
+			if reg.callee.NumParams == 1 {
+				if fs.hasArg {
+					e.ArgRegs = []dvm.Reg{fs.argReg}
+				} else {
+					e.ArgsKnown = false
+				}
+			}
+			cg.addEdge(e)
+		}
+	}
+
+	// A single unresolvable handle poisons every handle-taken method:
+	// the unknown call site could target any of them.
+	if anyUnresolvedHandle {
+		for id := range handleTaken {
+			cg.Unresolved[id] = true
+		}
+	}
+	for id := range cg.Callers {
+		sort.Slice(cg.Callers[id], func(i, j int) bool {
+			a, b := cg.Callers[id][i], cg.Callers[id][j]
+			if a.Caller != b.Caller {
+				return a.Caller < b.Caller
+			}
+			return a.PC < b.PC
+		})
+	}
+	return cg
+}
+
+func (cg *CallGraph) addEdge(e Edge) {
+	cg.Callers[e.Callee] = append(cg.Callers[e.Callee], e)
+	cg.Callees[e.Caller] = append(cg.Callees[e.Caller], e)
+}
+
+// intrinsicEdge adds an edge for a handler-posting intrinsic whose
+// method handle is argument methodArg and whose payload (the handler's
+// single parameter, if it takes one) is argument payloadArg.
+func (cg *CallGraph) intrinsicEdge(m *dvm.Method, r *dataflow.Reach, pc int, in *dvm.Instr, methodArg, payloadArg int, unresolved *bool) {
+	callee, ok := cg.methodHandle(m, r, pc, argReg(in, methodArg))
+	if !ok {
+		*unresolved = true
+		return
+	}
+	kind := KindPost
+	switch in.Intr {
+	case dvm.IntrFork:
+		kind = KindFork
+	case dvm.IntrRPC:
+		kind = KindRPC
+	}
+	e := Edge{Caller: m.ID, PC: trace.PC(pc), Callee: callee.ID, Kind: kind, ArgsKnown: true}
+	if callee.NumParams >= 1 {
+		if payloadArg < len(in.Args) {
+			e.ArgRegs = []dvm.Reg{in.Args[payloadArg]}
+		} else {
+			e.ArgsKnown = false
+		}
+	}
+	cg.addEdge(e)
+}
+
+// argReg returns argument register i of an intrinsic, defaulting to
+// an out-of-range register that will fail resolution.
+func argReg(in *dvm.Instr, i int) dvm.Reg {
+	if i < len(in.Args) {
+		return in.Args[i]
+	}
+	return ^dvm.Reg(0)
+}
+
+// methodHandle chases (pc, reg) to a unique const-method definition.
+func (cg *CallGraph) methodHandle(m *dvm.Method, r *dataflow.Reach, pc int, reg dvm.Reg) (*dvm.Method, bool) {
+	site, ok := chaseUnique(m, r, pc, reg)
+	if !ok || site < 0 {
+		return nil, false
+	}
+	in := &m.Code[site]
+	if in.Code != dvm.CConstMethod {
+		return nil, false
+	}
+	return cg.Prog.Methods[in.MethodIdx], true
+}
+
+// constInt chases (pc, reg) to a unique const-int definition.
+func (cg *CallGraph) constInt(m *dvm.Method, r *dataflow.Reach, pc int, reg dvm.Reg) (int64, bool) {
+	site, ok := chaseUnique(m, r, pc, reg)
+	if !ok || site < 0 {
+		return 0, false
+	}
+	in := &m.Code[site]
+	if in.Code != dvm.CConstInt {
+		return 0, false
+	}
+	return in.Imm, true
+}
+
+// chaseUnique follows the unique reaching definition of (pc, reg)
+// through move chains and returns the terminal definition site
+// (negative = parameter). The chase is bounded by the method length,
+// which any acyclic move chain cannot exceed.
+func chaseUnique(m *dvm.Method, r *dataflow.Reach, pc int, reg dvm.Reg) (int32, bool) {
+	site, ok := r.UniqueDef(pc, reg)
+	for hops := 0; ok && site >= 0 && m.Code[site].Code == dvm.CMove; hops++ {
+		if hops > len(m.Code) {
+			return 0, false
+		}
+		site, ok = r.UniqueDef(int(site), m.Code[site].B)
+	}
+	return site, ok
+}
+
+// bindArgs truncates or passes through the argument registers for a
+// callee expecting numParams parameters.
+func bindArgs(args []dvm.Reg, numParams int) []dvm.Reg {
+	if len(args) > numParams {
+		return args[:numParams]
+	}
+	return args
+}

@@ -1,0 +1,75 @@
+package static
+
+import (
+	"cafa/internal/dataflow"
+	"cafa/internal/detect"
+	"cafa/internal/dvm"
+	"cafa/internal/trace"
+)
+
+// Guards computes the static if-guard classification: for every
+// dereference site, is it covered by a null-test branch on the same
+// value in the same method? This is Figure 6 evaluated on the CFG
+// instead of the trace window — the branch's safe region is the same
+// PC interval the dynamic heuristic uses, but "same pointer" is
+// decided by def-use identity (both the branch operand and the
+// dereferenced register chase to the same unique definition site)
+// rather than by matching logged branch values to logged reads.
+//
+// Only if-eqz / if-nez null tests are classified; the object-compare
+// branch (if-eq vs `this`) has no static null meaning and is left to
+// the dynamic heuristic. Classifying fewer sites is always safe:
+// pruning happens only for sites this pass positively marks.
+func Guards(cg *CallGraph) map[dataflow.Key]bool {
+	out := make(map[dataflow.Key]bool)
+	for _, m := range cg.Prog.Methods {
+		r := cg.Reach[m.ID]
+		// Collect null-test branches with a resolvable tested origin.
+		type nullTest struct {
+			lo, hi trace.PC
+			origin int32
+		}
+		var tests []nullTest
+		for pc := range m.Code {
+			in := &m.Code[pc]
+			var kind trace.BranchKind
+			switch in.Code {
+			case dvm.CIfEqz:
+				kind = trace.BranchIfEqz
+			case dvm.CIfNez:
+				kind = trace.BranchIfNez
+			default:
+				continue
+			}
+			if !r.Reachable(pc) {
+				continue
+			}
+			origin, ok := chaseUnique(m, r, pc, in.A)
+			if !ok {
+				continue
+			}
+			lo, hi := detect.GuardRegion(kind, trace.PC(pc), trace.PC(in.Target))
+			tests = append(tests, nullTest{lo: lo, hi: hi, origin: origin})
+		}
+		if len(tests) == 0 {
+			continue
+		}
+		for pc := range m.Code {
+			reg, ok := dataflow.DerefReg(&m.Code[pc])
+			if !ok || !r.Reachable(pc) {
+				continue
+			}
+			origin, ok := chaseUnique(m, r, pc, reg)
+			if !ok {
+				continue
+			}
+			for _, t := range tests {
+				if t.origin == origin && trace.PC(pc) >= t.lo && trace.PC(pc) < t.hi {
+					out[dataflow.Key{Method: m.ID, PC: trace.PC(pc)}] = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}

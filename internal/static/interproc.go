@@ -1,0 +1,241 @@
+package static
+
+import (
+	"sort"
+
+	"cafa/internal/dataflow"
+	"cafa/internal/dvm"
+	"cafa/internal/trace"
+)
+
+// LoadSite is a pointer-load instruction (iget/sget/aget) a value may
+// originate from. Field is the loaded field id, or 0 for array loads
+// (array slot ids are dynamic and have no static field).
+type LoadSite struct {
+	Method trace.MethodID
+	PC     trace.PC
+	Field  trace.FieldID
+}
+
+// Resolution is the interprocedural origin set of a register value:
+// every pointer-load site it may come from, plus flags for fresh
+// allocations, null constants, and origins the analysis could not
+// determine (unknown callers, intrinsic results, scalar values).
+type Resolution struct {
+	Sites      []LoadSite
+	Fresh      bool
+	Null       bool
+	Incomplete bool
+}
+
+func (r *Resolution) addSite(s LoadSite) {
+	for _, have := range r.Sites {
+		if have == s {
+			return
+		}
+	}
+	r.Sites = append(r.Sites, s)
+}
+
+func (r *Resolution) merge(o Resolution) {
+	for _, s := range o.Sites {
+		r.addSite(s)
+	}
+	r.Fresh = r.Fresh || o.Fresh
+	r.Null = r.Null || o.Null
+	r.Incomplete = r.Incomplete || o.Incomplete
+}
+
+// Source projects a resolution onto the intra-method dataflow.Source
+// contract the detector consumes. The projection is deliberately
+// conservative: only a complete, single-load resolution claims
+// SrcLoad, only an all-fresh/null resolution claims SrcFresh, and
+// everything else is SrcUnknown — the dynamic nearest-read fallback.
+// Wherever the intra-method pass already gives a definite answer this
+// projection gives the same one, so enabling it can never regress
+// precision.
+func (r Resolution) Source(derefMethod trace.MethodID) dataflow.Source {
+	if r.Incomplete {
+		return dataflow.Source{Kind: dataflow.SrcUnknown}
+	}
+	if len(r.Sites) == 0 {
+		if r.Fresh || r.Null {
+			return dataflow.Source{Kind: dataflow.SrcFresh}
+		}
+		return dataflow.Source{Kind: dataflow.SrcUnknown}
+	}
+	if len(r.Sites) == 1 && !r.Fresh && !r.Null {
+		s := r.Sites[0]
+		src := dataflow.Source{Kind: dataflow.SrcLoad, LoadPC: s.PC}
+		if s.Method != derefMethod {
+			src.LoadMethod = s.Method
+		}
+		return src
+	}
+	return dataflow.Source{Kind: dataflow.SrcUnknown}
+}
+
+// resolver memoizes interprocedural value resolution over the call
+// graph.
+type resolver struct {
+	cg    *CallGraph
+	memo  map[valKey]Resolution
+	state map[valKey]uint8 // 1 = in progress
+}
+
+type valKey struct {
+	method trace.MethodID
+	pc     int32
+	reg    dvm.Reg
+}
+
+func newResolver(cg *CallGraph) *resolver {
+	return &resolver{
+		cg:    cg,
+		memo:  make(map[valKey]Resolution),
+		state: make(map[valKey]uint8),
+	}
+}
+
+// value resolves the origins of register reg as observed at
+// instruction pc of method id. Cycles in the value-flow graph
+// (recursion, mutually-posting handlers) resolve to Incomplete.
+func (rv *resolver) value(id trace.MethodID, pc int, reg dvm.Reg) Resolution {
+	k := valKey{method: id, pc: int32(pc), reg: reg}
+	if res, ok := rv.memo[k]; ok {
+		return res
+	}
+	if rv.state[k] == 1 {
+		return Resolution{Incomplete: true}
+	}
+	rv.state[k] = 1
+	res := rv.valueUncached(id, pc, reg)
+	delete(rv.state, k)
+	rv.memo[k] = res
+	return res
+}
+
+func (rv *resolver) valueUncached(id trace.MethodID, pc int, reg dvm.Reg) Resolution {
+	r := rv.cg.Reach[id]
+	if r == nil {
+		return Resolution{Incomplete: true}
+	}
+	defs := r.Defs(pc, reg)
+	if len(defs) == 0 {
+		return Resolution{Incomplete: true}
+	}
+	var out Resolution
+	for _, d := range defs {
+		if d < 0 {
+			out.merge(rv.param(id, dataflow.ParamIndex(d)))
+		} else {
+			out.merge(rv.def(id, d))
+		}
+	}
+	return out
+}
+
+// def resolves the value produced by the definition at site.
+func (rv *resolver) def(id trace.MethodID, site int32) Resolution {
+	m := rv.cg.MethodByID(id)
+	in := &m.Code[site]
+	switch in.Code {
+	case dvm.CIget, dvm.CSget:
+		return Resolution{Sites: []LoadSite{{Method: id, PC: trace.PC(site), Field: in.Field}}}
+	case dvm.CAget:
+		return Resolution{Sites: []LoadSite{{Method: id, PC: trace.PC(site)}}}
+	case dvm.CNew, dvm.CNewArray:
+		return Resolution{Fresh: true}
+	case dvm.CConstNull:
+		return Resolution{Null: true}
+	case dvm.CMove:
+		return rv.value(id, int(site), in.B)
+	case dvm.CInvokeVirtual, dvm.CInvokeStatic:
+		return rv.callResult(rv.cg.Prog.Methods[in.MethodIdx])
+	case dvm.CInvokeValue:
+		if callee, ok := rv.cg.methodHandle(m, rv.cg.Reach[id], int(site), in.A); ok {
+			return rv.callResult(callee)
+		}
+		return Resolution{Incomplete: true}
+	default:
+		// Intrinsic results (thread handles, rpc replies, received
+		// messages) and scalar producers: origin unknown.
+		return Resolution{Incomplete: true}
+	}
+}
+
+// callResult unions the origins of every return site of a callee.
+func (rv *resolver) callResult(callee *dvm.Method) Resolution {
+	var out Resolution
+	found := false
+	r := rv.cg.Reach[callee.ID]
+	for pc := range callee.Code {
+		in := &callee.Code[pc]
+		if in.Code != dvm.CReturn || !r.Reachable(pc) {
+			continue
+		}
+		found = true
+		out.merge(rv.value(callee.ID, pc, in.A))
+	}
+	if !found {
+		out.Incomplete = true
+	}
+	return out
+}
+
+// param resolves parameter p of a method by unioning the bound
+// argument at every known call site. Methods the runtime may enter
+// outside the bytecode (no static callers, or poisoned by an
+// unresolvable handle) resolve to Incomplete — the closed-world
+// caveat documented on CallGraph.Unresolved.
+func (rv *resolver) param(id trace.MethodID, p int) Resolution {
+	if rv.cg.Unresolved[id] {
+		return Resolution{Incomplete: true}
+	}
+	edges := rv.cg.Callers[id]
+	if len(edges) == 0 {
+		return Resolution{Incomplete: true}
+	}
+	var out Resolution
+	for _, e := range edges {
+		if !e.ArgsKnown || p >= len(e.ArgRegs) {
+			out.Incomplete = true
+			continue
+		}
+		out.merge(rv.value(e.Caller, int(e.PC), e.ArgRegs[p]))
+	}
+	return out
+}
+
+// ResolveDerefs computes the interprocedural resolution of every
+// reachable dereference site in the program, plus the dataflow.Source
+// projection consumed by the detector.
+func ResolveDerefs(cg *CallGraph) (map[dataflow.Key]Resolution, map[dataflow.Key]dataflow.Source) {
+	rv := newResolver(cg)
+	res := make(map[dataflow.Key]Resolution)
+	srcs := make(map[dataflow.Key]dataflow.Source)
+	for _, m := range cg.Prog.Methods {
+		r := cg.Reach[m.ID]
+		for pc := range m.Code {
+			reg, ok := dataflow.DerefReg(&m.Code[pc])
+			if !ok || !r.Reachable(pc) {
+				continue
+			}
+			k := dataflow.Key{Method: m.ID, PC: trace.PC(pc)}
+			rr := rv.value(m.ID, pc, reg)
+			sortSites(rr.Sites)
+			res[k] = rr
+			srcs[k] = rr.Source(m.ID)
+		}
+	}
+	return res, srcs
+}
+
+func sortSites(sites []LoadSite) {
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].Method != sites[j].Method {
+			return sites[i].Method < sites[j].Method
+		}
+		return sites[i].PC < sites[j].PC
+	})
+}

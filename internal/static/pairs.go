@@ -1,0 +1,195 @@
+package static
+
+import (
+	"sort"
+
+	"cafa/internal/dataflow"
+	"cafa/internal/detect"
+	"cafa/internal/dvm"
+	"cafa/internal/trace"
+)
+
+// Pair is one statically-possible use-after-free candidate: a
+// dereference whose pointer may come from a load of field Field, and
+// a store of null to the same field. Its Key matches the dynamic
+// detector's SiteKey exactly, so the two worlds cross-check by map
+// lookup.
+type Pair struct {
+	Key detect.SiteKey
+	// Load is the pointer-load site feeding the dereference.
+	Load LoadSite
+	// Guarded: the dereference is covered by a static null-test
+	// (Guards pass) — a dynamic race here would be pruned as benign.
+	Guarded bool
+	// AllocSafe: the load is dominated by a fresh store of its field
+	// (AllocSafe pass) — the use can never see a freed pointer.
+	AllocSafe bool
+}
+
+// FreeSite is a static null store to a field.
+type FreeSite struct {
+	Method trace.MethodID
+	PC     trace.PC
+	Field  trace.FieldID
+}
+
+// FreeSites scans every method for stores whose value chases to a
+// null constant — the static counterpart of the tracer's
+// OpPtrWrite(null) free events.
+func FreeSites(cg *CallGraph) []FreeSite {
+	var out []FreeSite
+	for _, m := range cg.Prog.Methods {
+		r := cg.Reach[m.ID]
+		for pc := range m.Code {
+			in := &m.Code[pc]
+			if in.Code != dvm.CIput && in.Code != dvm.CSput {
+				continue
+			}
+			if !r.Reachable(pc) {
+				continue
+			}
+			origin, ok := chaseUnique(m, r, pc, in.A)
+			if ok && origin >= 0 && m.Code[origin].Code == dvm.CConstNull {
+				out = append(out, FreeSite{Method: m.ID, PC: trace.PC(pc), Field: in.Field})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Field != b.Field {
+			return a.Field < b.Field
+		}
+		if a.Method != b.Method {
+			return a.Method < b.Method
+		}
+		return a.PC < b.PC
+	})
+	return out
+}
+
+// EnumeratePairs crosses every dereference-of-field-load with every
+// null store to the same field. Array loads (Field 0) are excluded:
+// array slots have no static identity. Incomplete resolutions still
+// contribute their known sites — the pre-pass wants coverage, and a
+// partially-resolved deref may genuinely read the field.
+func EnumeratePairs(cg *CallGraph, resolutions map[dataflow.Key]Resolution,
+	guards, allocSafe map[dataflow.Key]bool) []Pair {
+
+	frees := FreeSites(cg)
+	freesByField := make(map[trace.FieldID][]FreeSite)
+	for _, f := range frees {
+		freesByField[f.Field] = append(freesByField[f.Field], f)
+	}
+
+	var pairs []Pair
+	for deref, res := range resolutions {
+		for _, site := range res.Sites {
+			if site.Field == 0 {
+				continue
+			}
+			for _, free := range freesByField[site.Field] {
+				pairs = append(pairs, Pair{
+					Key: detect.SiteKey{
+						Field:      site.Field,
+						UseMethod:  deref.Method,
+						UsePC:      deref.PC,
+						FreeMethod: free.Method,
+						FreePC:     free.PC,
+					},
+					Load:      site,
+					Guarded:   guards[deref],
+					AllocSafe: allocSafe[deref],
+				})
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Key.Less(pairs[j].Key) })
+	return pairs
+}
+
+// Verdict is the cross-check classification of a dynamic race against
+// the static pairs.
+type Verdict uint8
+
+// Verdicts, in annotation precedence order.
+const (
+	// VerdictStaticallyGuarded: the race's dereference is covered by a
+	// static null test — the dynamic heuristics should have pruned it,
+	// and enabling static guard pruning will.
+	VerdictStaticallyGuarded Verdict = iota
+	// VerdictAllocSafe: the race's load is allocation-dominated — a
+	// static intra-event-allocation witness.
+	VerdictAllocSafe
+	// VerdictStaticConfirmed: the static pre-pass independently
+	// enumerates this exact site pair.
+	VerdictStaticConfirmed
+	// VerdictUnmatched: no static pair exists for the reported sites —
+	// the hallmark of a Type III mismatch (the dynamic heuristic
+	// matched the dereference to the wrong pointer read) or of a free
+	// outside the analyzed bytecode.
+	VerdictUnmatched
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictStaticallyGuarded:
+		return "statically-guarded"
+	case VerdictAllocSafe:
+		return "alloc-safe"
+	case VerdictStaticConfirmed:
+		return "static-confirmed"
+	case VerdictUnmatched:
+		return "static-unmatched"
+	default:
+		return "verdict?"
+	}
+}
+
+// CheckedRace is a dynamic race annotated with its static verdict.
+type CheckedRace struct {
+	Race    detect.Race
+	Verdict Verdict
+}
+
+// Gap is a statically-possible pair the dynamic run never reported —
+// either the schedule did not exercise it, or a dynamic heuristic
+// pruned it. Unexercised harmful pairs are the coverage signal a
+// trace-bound detector cannot produce.
+type Gap struct {
+	Pair Pair
+}
+
+// CrossCheck annotates each dynamic race with its static verdict and
+// returns the coverage gaps: unguarded, non-alloc-safe static pairs
+// absent from the dynamic report.
+func CrossCheck(pairs []Pair, races []detect.Race) ([]CheckedRace, []Gap) {
+	byKey := make(map[detect.SiteKey]Pair, len(pairs))
+	for _, p := range pairs {
+		byKey[p.Key] = p
+	}
+	checked := make([]CheckedRace, 0, len(races))
+	reported := make(map[detect.SiteKey]bool, len(races))
+	for _, r := range races {
+		k := r.Key()
+		reported[k] = true
+		cr := CheckedRace{Race: r, Verdict: VerdictUnmatched}
+		if p, ok := byKey[k]; ok {
+			switch {
+			case p.Guarded:
+				cr.Verdict = VerdictStaticallyGuarded
+			case p.AllocSafe:
+				cr.Verdict = VerdictAllocSafe
+			default:
+				cr.Verdict = VerdictStaticConfirmed
+			}
+		}
+		checked = append(checked, cr)
+	}
+	var gaps []Gap
+	for _, p := range pairs {
+		if !p.Guarded && !p.AllocSafe && !reported[p.Key] {
+			gaps = append(gaps, Gap{Pair: p})
+		}
+	}
+	return checked, gaps
+}

@@ -1,0 +1,88 @@
+// Package static is the whole-program static analysis layer over dvm
+// bytecode (the paper's §6.3 proposal, generalized): a call graph
+// over invoke/return instructions and handler-posting intrinsics, an
+// interprocedural extension of the reaching-definitions def-use
+// analysis in internal/dataflow (pointer origins flow through
+// parameter registers and return values), static versions of the
+// detector's two commutativity heuristics (if-guard regions computed
+// on the CFG, allocation domination computed by a must-analysis), and
+// a trace-free use-after-free pre-pass that enumerates candidate
+// site pairs per field and cross-checks them against the dynamic
+// detector's report.
+//
+// Closed-world caveat: the runtime can enter methods outside the
+// bytecode (thread bodies and injected events are wired by name), so
+// parameters of methods without static callers resolve to Incomplete
+// and the detector falls back to its dynamic heuristics there —
+// enabling the static layer can refine answers but never invent one
+// where the program's entry points are unknown.
+package static
+
+import (
+	"time"
+
+	"cafa/internal/dataflow"
+	"cafa/internal/dvm"
+)
+
+// Timing records wall-clock per pass for the static layer
+// (BENCH_static.json).
+type Timing struct {
+	CallGraph time.Duration `json:"callgraph_ns"`
+	Resolve   time.Duration `json:"resolve_ns"`
+	Guards    time.Duration `json:"guards_ns"`
+	Alloc     time.Duration `json:"alloc_ns"`
+	Pairs     time.Duration `json:"pairs_ns"`
+	Total     time.Duration `json:"total_ns"`
+}
+
+// Result bundles every static pass over one program.
+type Result struct {
+	Graph *CallGraph
+	// Resolutions is the full interprocedural origin set per
+	// dereference site; Derefs is its projection onto the detector's
+	// dataflow.Source contract.
+	Resolutions map[dataflow.Key]Resolution
+	Derefs      map[dataflow.Key]dataflow.Source
+	// Guards marks dereference sites covered by a static null test.
+	Guards map[dataflow.Key]bool
+	// AllocSafe marks dereference sites whose load is dominated by a
+	// fresh allocation of its field.
+	AllocSafe map[dataflow.Key]bool
+	// NonEscaping marks new-sites whose object never leaves the
+	// allocating method.
+	NonEscaping map[dataflow.Key]bool
+	// Pairs is the static use-after-free pre-pass output.
+	Pairs  []Pair
+	Timing Timing
+}
+
+// Analyze runs every static pass over a program.
+func Analyze(p *dvm.Program) *Result {
+	res := &Result{}
+	start := time.Now()
+
+	t := time.Now()
+	res.Graph = BuildCallGraph(p)
+	res.Timing.CallGraph = time.Since(t)
+
+	t = time.Now()
+	res.Resolutions, res.Derefs = ResolveDerefs(res.Graph)
+	res.Timing.Resolve = time.Since(t)
+
+	t = time.Now()
+	res.Guards = Guards(res.Graph)
+	res.Timing.Guards = time.Since(t)
+
+	t = time.Now()
+	res.AllocSafe = AllocSafe(res.Graph)
+	res.NonEscaping = NonEscaping(res.Graph)
+	res.Timing.Alloc = time.Since(t)
+
+	t = time.Now()
+	res.Pairs = EnumeratePairs(res.Graph, res.Resolutions, res.Guards, res.AllocSafe)
+	res.Timing.Pairs = time.Since(t)
+
+	res.Timing.Total = time.Since(start)
+	return res
+}

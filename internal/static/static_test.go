@@ -1,0 +1,441 @@
+package static
+
+import (
+	"testing"
+
+	"cafa/internal/asm"
+	"cafa/internal/dataflow"
+	"cafa/internal/detect"
+	"cafa/internal/dvm"
+	"cafa/internal/trace"
+)
+
+func assemble(t *testing.T, src string) *dvm.Program {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func methodID(t *testing.T, p *dvm.Program, name string) trace.MethodID {
+	t.Helper()
+	return p.Methods[p.MustMethod(name)].ID
+}
+
+const runSink = `
+.method run(this) regs=1
+    return-void
+.end
+`
+
+func TestCallGraphDirectAndIntrinsicEdges(t *testing.T) {
+	p := assemble(t, runSink+`
+.method handler(arg) regs=2
+    invoke-virtual run, arg
+    return-void
+.end
+
+.method body(arg) regs=1
+    return-void
+.end
+
+.method poster(h) regs=6
+    iget v4, h, ptr
+    sget-int v1, mainQ
+    const-method v2, handler
+    const-int v3, #0
+    send v1, v2, v3, v4
+    const-method v5, body
+    fork v5, v4 -> v3
+    return-void
+.end
+`)
+	cg := BuildCallGraph(p)
+	handler := methodID(t, p, "handler")
+	body := methodID(t, p, "body")
+	poster := methodID(t, p, "poster")
+
+	post := cg.Callers[handler]
+	if len(post) != 1 || post[0].Kind != KindPost || post[0].Caller != poster ||
+		!post[0].ArgsKnown || len(post[0].ArgRegs) != 1 || post[0].ArgRegs[0] != 4 {
+		t.Errorf("handler callers = %+v, want one post edge from poster binding v4", post)
+	}
+	forkE := cg.Callers[body]
+	if len(forkE) != 1 || forkE[0].Kind != KindFork || !forkE[0].ArgsKnown {
+		t.Errorf("body callers = %+v, want one fork edge", forkE)
+	}
+	if cg.Unresolved[handler] || cg.Unresolved[body] {
+		t.Errorf("resolved handles marked Unresolved")
+	}
+	// run is invoked directly from handler.
+	run := methodID(t, p, "run")
+	if calls := cg.Callers[run]; len(calls) != 1 || calls[0].Kind != KindCall || calls[0].Caller != handler {
+		t.Errorf("run callers = %+v, want one direct call from handler", calls)
+	}
+}
+
+func TestCallGraphListenerEdges(t *testing.T) {
+	p := assemble(t, runSink+`
+.method cb(h) regs=1
+    return-void
+.end
+
+.method reg(h) regs=4
+    const-int v1, #7
+    const-method v2, cb
+    register v1, v2
+    return-void
+.end
+
+.method firer(h) regs=3
+    const-int v1, #7
+    fire v1, h
+    return-void
+.end
+`)
+	cg := BuildCallGraph(p)
+	cb := methodID(t, p, "cb")
+	edges := cg.Callers[cb]
+	if len(edges) != 1 || edges[0].Kind != KindListener || edges[0].Caller != methodID(t, p, "firer") {
+		t.Errorf("cb callers = %+v, want one listener edge from firer", edges)
+	}
+	if len(edges) == 1 && (len(edges[0].ArgRegs) != 1 || !edges[0].ArgsKnown) {
+		t.Errorf("listener edge binding = %+v, want fire arg bound to param 0", edges[0])
+	}
+}
+
+func TestInterprocParamResolution(t *testing.T) {
+	// The interprocedural Type III pattern: the deref sits in a
+	// helper, the aliased loads in the caller. The intra-method pass
+	// says unknown (parameter); the interprocedural pass resolves the
+	// deref to the ptrA load — not the dynamically-nearer ptrB read.
+	p := assemble(t, runSink+`
+.method helper(obj) regs=1
+    invoke-virtual run, obj
+    return-void
+.end
+
+.method f(h) regs=4
+    iget v1, h, ptrA
+    iget v2, h, ptrB
+    invoke-static helper, v1
+    return-void
+.end
+`)
+	helper := methodID(t, p, "helper")
+	f := methodID(t, p, "f")
+
+	intra := dataflow.DerefSources(p)
+	if got := intra[dataflow.Key{Method: helper, PC: 0}]; got.Kind != dataflow.SrcUnknown {
+		t.Fatalf("intra helper deref = %+v, want SrcUnknown (parameter)", got)
+	}
+
+	_, srcs := ResolveDerefs(BuildCallGraph(p))
+	got := srcs[dataflow.Key{Method: helper, PC: 0}]
+	if got.Kind != dataflow.SrcLoad || got.LoadPC != 0 || got.LoadMethod != f {
+		t.Errorf("interproc helper deref = %+v, want load at f pc 0", got)
+	}
+}
+
+func TestInterprocReturnResolution(t *testing.T) {
+	p := assemble(t, runSink+`
+.method getp(h) regs=2
+    iget v1, h, ptr
+    return v1
+.end
+
+.method g(h) regs=3
+    invoke-static getp, h -> v1
+    invoke-virtual run, v1
+    return-void
+.end
+`)
+	g := methodID(t, p, "g")
+	getp := methodID(t, p, "getp")
+	_, srcs := ResolveDerefs(BuildCallGraph(p))
+	got := srcs[dataflow.Key{Method: g, PC: 1}]
+	if got.Kind != dataflow.SrcLoad || got.LoadPC != 0 || got.LoadMethod != getp {
+		t.Errorf("call-result deref = %+v, want load at getp pc 0", got)
+	}
+}
+
+func TestInterprocSendBinding(t *testing.T) {
+	p := assemble(t, runSink+`
+.method handler(arg) regs=2
+    invoke-virtual run, arg
+    return-void
+.end
+
+.method poster(h) regs=6
+    iget v4, h, ptr
+    sget-int v1, mainQ
+    const-method v2, handler
+    const-int v3, #0
+    send v1, v2, v3, v4
+    return-void
+.end
+`)
+	handler := methodID(t, p, "handler")
+	poster := methodID(t, p, "poster")
+	_, srcs := ResolveDerefs(BuildCallGraph(p))
+	got := srcs[dataflow.Key{Method: handler, PC: 0}]
+	if got.Kind != dataflow.SrcLoad || got.LoadPC != 0 || got.LoadMethod != poster {
+		t.Errorf("posted handler deref = %+v, want load at poster pc 0", got)
+	}
+}
+
+func TestClosedWorldParamsStayUnknown(t *testing.T) {
+	// A method with no static callers is a runtime entry point; its
+	// parameter derefs must resolve to SrcUnknown so the detector
+	// falls back to the dynamic heuristic.
+	p := assemble(t, runSink+`
+.method entry(h) regs=3
+    iget v1, h, ptr
+    invoke-virtual run, v1
+    return-void
+.end
+`)
+	entry := methodID(t, p, "entry")
+	res, srcs := ResolveDerefs(BuildCallGraph(p))
+	// pc 0 derefs the parameter h.
+	if got := srcs[dataflow.Key{Method: entry, PC: 0}]; got.Kind != dataflow.SrcUnknown {
+		t.Errorf("entry param deref = %+v, want SrcUnknown", got)
+	}
+	if got := res[dataflow.Key{Method: entry, PC: 0}]; !got.Incomplete {
+		t.Errorf("entry param resolution = %+v, want Incomplete", got)
+	}
+	// The local load still resolves.
+	if got := srcs[dataflow.Key{Method: entry, PC: 1}]; got.Kind != dataflow.SrcLoad || got.LoadPC != 0 || got.LoadMethod != 0 {
+		t.Errorf("entry local deref = %+v, want intra-method load at pc 0", got)
+	}
+}
+
+func TestInterprocAgreesWithIntraWhereIntraResolves(t *testing.T) {
+	// The no-regression property the detector wiring relies on: where
+	// the intra-method pass gives a definite answer, the
+	// interprocedural projection gives the same one.
+	p := assemble(t, runSink+`
+.method a(h) regs=4
+    iget v1, h, ptr
+    move v2, v1
+    invoke-virtual run, v2
+    new v3, Obj
+    invoke-virtual run, v3
+    return-void
+.end
+`)
+	intra := dataflow.DerefSources(p)
+	_, inter := ResolveDerefs(BuildCallGraph(p))
+	for k, is := range intra {
+		if is.Kind == dataflow.SrcUnknown {
+			continue
+		}
+		if got := inter[k]; got != is {
+			t.Errorf("site %+v: intra %+v but interproc %+v", k, is, got)
+		}
+	}
+}
+
+func TestStaticGuards(t *testing.T) {
+	p := assemble(t, runSink+`
+.method onFocus(act) regs=3
+    iget v1, act, ptr
+    if-eqz v1, skip
+    invoke-virtual run, v1
+skip:
+    return-void
+.end
+
+.method unguarded(act) regs=3
+    iget v1, act, ptr
+    invoke-virtual run, v1
+    return-void
+.end
+`)
+	guards := Guards(BuildCallGraph(p))
+	onFocus := methodID(t, p, "onFocus")
+	if !guards[dataflow.Key{Method: onFocus, PC: 2}] {
+		t.Errorf("guarded deref not classified; guards = %v", guards)
+	}
+	ung := methodID(t, p, "unguarded")
+	if guards[dataflow.Key{Method: ung, PC: 1}] {
+		t.Errorf("unguarded deref wrongly classified as guarded")
+	}
+	// The iget itself derefs the (untested) holder: must not be guarded.
+	if guards[dataflow.Key{Method: onFocus, PC: 0}] {
+		t.Errorf("holder deref wrongly classified as guarded")
+	}
+}
+
+func TestStaticGuardIgnoresOtherOrigin(t *testing.T) {
+	// The branch tests ptrA but the deref uses ptrB: no guard.
+	p := assemble(t, runSink+`
+.method mixed(act) regs=4
+    iget v1, act, ptrA
+    iget v2, act, ptrB
+    if-eqz v1, skip
+    invoke-virtual run, v2
+skip:
+    return-void
+.end
+`)
+	guards := Guards(BuildCallGraph(p))
+	mixed := methodID(t, p, "mixed")
+	if guards[dataflow.Key{Method: mixed, PC: 3}] {
+		t.Errorf("deref of different origin wrongly guarded")
+	}
+}
+
+func TestAllocSafe(t *testing.T) {
+	p := assemble(t, runSink+`
+.method onResume(act) regs=3
+    new v1, Handler
+    iput v1, act, ptr
+    iget v2, act, ptr
+    invoke-virtual run, v2
+    return-void
+.end
+
+.method stale(act) regs=3
+    iget v1, act, ptr
+    invoke-virtual run, v1
+    return-void
+.end
+
+.method clobbered(act) regs=4
+    new v1, Handler
+    iput v1, act, ptr
+    invoke-virtual run, v1
+    iget v2, act, ptr
+    invoke-virtual run, v2
+    return-void
+.end
+`)
+	safe := AllocSafe(BuildCallGraph(p))
+	onResume := methodID(t, p, "onResume")
+	if !safe[dataflow.Key{Method: onResume, PC: 3}] {
+		t.Errorf("alloc-dominated deref not classified; safe = %v", safe)
+	}
+	stale := methodID(t, p, "stale")
+	if safe[dataflow.Key{Method: stale, PC: 1}] {
+		t.Errorf("plain load wrongly alloc-safe")
+	}
+	// After a call the fresh-field set is cleared: the reload may see
+	// anything a callee stored.
+	clob := methodID(t, p, "clobbered")
+	if safe[dataflow.Key{Method: clob, PC: 4}] {
+		t.Errorf("post-call load wrongly alloc-safe")
+	}
+}
+
+func TestNonEscaping(t *testing.T) {
+	p := assemble(t, runSink+`
+.method local(h) regs=3
+    new v1, Scratch
+    array-len v2, v1
+    return-void
+.end
+
+.method leaks(h) regs=2
+    new v1, Handler
+    iput v1, h, ptr
+    return-void
+.end
+
+.method passed(h) regs=2
+    new v1, Handler
+    invoke-virtual run, v1
+    return-void
+.end
+`)
+	ne := NonEscaping(BuildCallGraph(p))
+	if !ne[dataflow.Key{Method: methodID(t, p, "local"), PC: 0}] {
+		t.Errorf("local-only allocation not classified non-escaping")
+	}
+	if ne[dataflow.Key{Method: methodID(t, p, "leaks"), PC: 0}] {
+		t.Errorf("field-stored allocation wrongly non-escaping")
+	}
+	if ne[dataflow.Key{Method: methodID(t, p, "passed"), PC: 0}] {
+		t.Errorf("call-argument allocation wrongly non-escaping")
+	}
+}
+
+func TestPairEnumerationAndCrossCheck(t *testing.T) {
+	p := assemble(t, runSink+`
+.method use(h) regs=3
+    iget v1, h, ptr
+    invoke-virtual run, v1
+    return-void
+.end
+
+.method guardedUse(h) regs=3
+    iget v1, h, ptr
+    if-eqz v1, skip
+    invoke-virtual run, v1
+skip:
+    return-void
+.end
+
+.method free(h) regs=2
+    const-null v1
+    iput v1, h, ptr
+    return-void
+.end
+`)
+	st := Analyze(p)
+	use := methodID(t, p, "use")
+	gUse := methodID(t, p, "guardedUse")
+	free := methodID(t, p, "free")
+	ptr := p.FieldID("ptr")
+
+	wantPlain := detect.SiteKey{Field: ptr, UseMethod: use, UsePC: 1, FreeMethod: free, FreePC: 1}
+	wantGuarded := detect.SiteKey{Field: ptr, UseMethod: gUse, UsePC: 2, FreeMethod: free, FreePC: 1}
+	var gotPlain, gotGuarded *Pair
+	for i := range st.Pairs {
+		switch st.Pairs[i].Key {
+		case wantPlain:
+			gotPlain = &st.Pairs[i]
+		case wantGuarded:
+			gotGuarded = &st.Pairs[i]
+		}
+	}
+	if gotPlain == nil || gotPlain.Guarded || gotPlain.AllocSafe {
+		t.Fatalf("plain pair = %+v, want unguarded pair %+v (pairs: %+v)", gotPlain, wantPlain, st.Pairs)
+	}
+	if gotGuarded == nil || !gotGuarded.Guarded {
+		t.Fatalf("guarded pair = %+v, want guarded pair %+v", gotGuarded, wantGuarded)
+	}
+
+	// Cross-check: a dynamic race at the plain pair is
+	// static-confirmed; one at a site the static pass never
+	// enumerates is unmatched; the plain pair is a coverage gap when
+	// the dynamic report misses it.
+	raceAt := func(k detect.SiteKey) detect.Race {
+		return detect.Race{
+			Use: detect.Use{
+				Var: trace.MakeVar(1, k.Field), Method: k.UseMethod, DerefPC: k.UsePC,
+			},
+			Free: detect.Free{
+				Var: trace.MakeVar(1, k.Field), Method: k.FreeMethod, PC: k.FreePC,
+			},
+		}
+	}
+	bogus := wantPlain
+	bogus.UsePC = 99
+	checked, gaps := CrossCheck(st.Pairs, []detect.Race{raceAt(wantPlain), raceAt(bogus)})
+	if checked[0].Verdict != VerdictStaticConfirmed {
+		t.Errorf("plain race verdict = %s, want static-confirmed", checked[0].Verdict)
+	}
+	if checked[1].Verdict != VerdictUnmatched {
+		t.Errorf("bogus race verdict = %s, want static-unmatched", checked[1].Verdict)
+	}
+	if len(gaps) != 0 {
+		t.Errorf("gaps = %+v, want none (plain reported, guarded excluded)", gaps)
+	}
+	_, gaps = CrossCheck(st.Pairs, nil)
+	if len(gaps) != 1 || gaps[0].Pair.Key != wantPlain {
+		t.Errorf("gaps without dynamic report = %+v, want exactly the plain pair", gaps)
+	}
+}

@@ -1,0 +1,406 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text trace format — the lossless, line-oriented sibling of the
+// binary codec (WriteText remains the lossy human dump):
+//
+//	CAFA-TEXT 1
+//	tasks <n>
+//	task <id> kind=<k> looper=<id> queue=<id> proc=<p> <quoted name>
+//	fields <n>
+//	<id> <quoted name>
+//	methods <n> / queues <n>   (same shape)
+//	entries <n>
+//	<op> task=<id> [key=value ...]
+//
+// Zero-valued operands are omitted, keys appear in a fixed order, and
+// tables are sorted by id, so encoding is canonical: decode∘encode is
+// the identity on well-formed text, exactly like the binary codec.
+
+const (
+	textMagic   = "CAFA-TEXT"
+	textVersion = 1
+)
+
+// EncodeText writes the trace in the lossless text form.
+func (tr *Trace) EncodeText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s %d\n", textMagic, textVersion)
+
+	fmt.Fprintf(bw, "tasks %d\n", len(tr.Tasks))
+	for _, id := range tr.TaskIDs() {
+		ti := tr.Tasks[id]
+		fmt.Fprintf(bw, "task %d kind=%d looper=%d queue=%d proc=%d %s\n",
+			id, ti.Kind, ti.Looper, ti.Queue, ti.Proc, strconv.Quote(ti.Name))
+	}
+	writeTextTable(bw, "fields", toU32Map(tr.Fields))
+	writeTextTable(bw, "methods", toU32Map(tr.Methods))
+	writeTextTable(bw, "queues", toU32Map(tr.Queues))
+
+	fmt.Fprintf(bw, "entries %d\n", len(tr.Entries))
+	for i := range tr.Entries {
+		if err := encodeTextEntry(bw, &tr.Entries[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeTextTable(bw *bufio.Writer, section string, m map[uint32]string) {
+	fmt.Fprintf(bw, "%s %d\n", section, len(m))
+	keys := make([]uint32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	for _, k := range keys {
+		fmt.Fprintf(bw, "%d %s\n", k, strconv.Quote(m[k]))
+	}
+}
+
+func encodeTextEntry(bw *bufio.Writer, e *Entry) error {
+	if !e.Op.Valid() {
+		return fmt.Errorf("trace: encode text: invalid op %d", uint8(e.Op))
+	}
+	fmt.Fprintf(bw, "%s task=%d", e.Op, e.Task)
+	// Same presence rule and field order as the binary codec's mask.
+	if e.Target != 0 {
+		fmt.Fprintf(bw, " target=%d", e.Target)
+	}
+	if e.Queue != 0 {
+		fmt.Fprintf(bw, " queue=%d", e.Queue)
+	}
+	if e.Delay != 0 {
+		fmt.Fprintf(bw, " delay=%d", e.Delay)
+	}
+	if e.External {
+		fmt.Fprint(bw, " ext")
+	}
+	if e.Monitor != 0 {
+		fmt.Fprintf(bw, " monitor=%d", e.Monitor)
+	}
+	if e.Lock != 0 {
+		fmt.Fprintf(bw, " lock=%d", e.Lock)
+	}
+	if e.Listener != 0 {
+		fmt.Fprintf(bw, " listener=%d", e.Listener)
+	}
+	if e.Var != 0 {
+		fmt.Fprintf(bw, " var=%d", uint64(e.Var))
+	}
+	if e.Value != 0 {
+		fmt.Fprintf(bw, " value=%d", e.Value)
+	}
+	if e.Txn != 0 {
+		fmt.Fprintf(bw, " txn=%d", e.Txn)
+	}
+	if e.PC != 0 {
+		fmt.Fprintf(bw, " pc=%d", e.PC)
+	}
+	if e.TargetPC != 0 {
+		fmt.Fprintf(bw, " tpc=%d", e.TargetPC)
+	}
+	if e.Branch != 0 {
+		fmt.Fprintf(bw, " branch=%d", e.Branch)
+	}
+	if e.Method != 0 {
+		fmt.Fprintf(bw, " method=%d", e.Method)
+	}
+	if e.Time != 0 {
+		fmt.Fprintf(bw, " time=%d", e.Time)
+	}
+	fmt.Fprintln(bw)
+	return nil
+}
+
+// opByName maps text op names back to codes.
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, int(opMax))
+	for op := OpInvalid + 1; op < opMax; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+// textReader wraps line-by-line parsing with position reporting.
+type textReader struct {
+	br   *bufio.Reader
+	line int
+}
+
+func (r *textReader) next() (string, error) {
+	s, err := r.br.ReadString('\n')
+	if err == io.EOF && s != "" {
+		err = nil // final unterminated line is fine
+	}
+	if err != nil {
+		return "", err
+	}
+	r.line++
+	return strings.TrimSuffix(s, "\n"), nil
+}
+
+func (r *textReader) errf(format string, args ...any) error {
+	return fmt.Errorf("trace: decode text: line %d: %s", r.line, fmt.Sprintf(format, args...))
+}
+
+// DecodeText reads a trace written by EncodeText.
+func DecodeText(rd io.Reader) (*Trace, error) {
+	r := &textReader{br: bufio.NewReader(rd)}
+	header, err := r.next()
+	if err != nil {
+		return nil, fmt.Errorf("trace: decode text: %w", err)
+	}
+	if header != fmt.Sprintf("%s %d", textMagic, textVersion) {
+		return nil, fmt.Errorf("trace: decode text: bad header %q", header)
+	}
+	tr := New()
+
+	ntasks, err := sectionCount(r, "tasks")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < ntasks; i++ {
+		line, err := r.next()
+		if err != nil {
+			return nil, r.errf("task table: %v", err)
+		}
+		ti, err := parseTaskLine(line)
+		if err != nil {
+			return nil, r.errf("%v", err)
+		}
+		if _, dup := tr.Tasks[ti.ID]; dup {
+			return nil, r.errf("duplicate task %d", ti.ID)
+		}
+		tr.Tasks[ti.ID] = ti
+	}
+	if err := readTextTable(r, "fields", func(k uint32, v string) { tr.Fields[FieldID(k)] = v }); err != nil {
+		return nil, err
+	}
+	if err := readTextTable(r, "methods", func(k uint32, v string) { tr.Methods[MethodID(k)] = v }); err != nil {
+		return nil, err
+	}
+	if err := readTextTable(r, "queues", func(k uint32, v string) { tr.Queues[QueueID(k)] = v }); err != nil {
+		return nil, err
+	}
+
+	n, err := sectionCount(r, "entries")
+	if err != nil {
+		return nil, err
+	}
+	tr.Entries = make([]Entry, 0, min(n, 4096))
+	for i := 0; i < n; i++ {
+		line, err := r.next()
+		if err != nil {
+			return nil, r.errf("entries: %v", err)
+		}
+		e, err := parseEntryLine(line)
+		if err != nil {
+			return nil, r.errf("%v", err)
+		}
+		tr.Entries = append(tr.Entries, e)
+	}
+	return tr, nil
+}
+
+// sectionCount parses a "<section> <n>" line with a sanity bound.
+func sectionCount(r *textReader, section string) (int, error) {
+	line, err := r.next()
+	if err != nil {
+		return 0, r.errf("missing %q section: %v", section, err)
+	}
+	rest, ok := strings.CutPrefix(line, section+" ")
+	if !ok {
+		return 0, r.errf("want %q section, got %q", section, line)
+	}
+	n, err := strconv.ParseUint(rest, 10, 32)
+	if err != nil || n > 1<<24 {
+		return 0, r.errf("bad %s count %q", section, rest)
+	}
+	return int(n), nil
+}
+
+func readTextTable(r *textReader, section string, set func(k uint32, v string)) error {
+	n, err := sectionCount(r, section)
+	if err != nil {
+		return err
+	}
+	seen := make(map[uint32]bool, n)
+	for i := 0; i < n; i++ {
+		line, err := r.next()
+		if err != nil {
+			return r.errf("%s table: %v", section, err)
+		}
+		idTok, quoted, ok := strings.Cut(line, " ")
+		if !ok {
+			return r.errf("%s table: malformed line %q", section, line)
+		}
+		id, err := strconv.ParseUint(idTok, 10, 32)
+		if err != nil {
+			return r.errf("%s table: bad id %q", section, idTok)
+		}
+		name, err := strconv.Unquote(quoted)
+		if err != nil {
+			return r.errf("%s table: bad name %q", section, quoted)
+		}
+		if seen[uint32(id)] {
+			return r.errf("%s table: duplicate id %d", section, id)
+		}
+		seen[uint32(id)] = true
+		set(uint32(id), name)
+	}
+	return nil
+}
+
+func parseTaskLine(line string) (TaskInfo, error) {
+	var ti TaskInfo
+	q := strings.Index(line, `"`)
+	if q < 0 {
+		return ti, fmt.Errorf("task line missing quoted name: %q", line)
+	}
+	toks := strings.Fields(line[:q])
+	if len(toks) != 6 || toks[0] != "task" {
+		return ti, fmt.Errorf("malformed task line %q", line)
+	}
+	name, err := strconv.Unquote(line[q:])
+	if err != nil {
+		return ti, fmt.Errorf("task line: bad name: %v", err)
+	}
+	ti.Name = name
+	id, err := strconv.ParseUint(toks[1], 10, 32)
+	if err != nil {
+		return ti, fmt.Errorf("task line: bad id %q", toks[1])
+	}
+	ti.ID = TaskID(id)
+	for _, tok := range toks[2:] {
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return ti, fmt.Errorf("task line: malformed %q", tok)
+		}
+		switch key {
+		case "kind", "looper", "queue":
+			u, err := strconv.ParseUint(val, 10, 32)
+			if err != nil {
+				return ti, fmt.Errorf("task line: bad %s %q", key, val)
+			}
+			switch key {
+			case "kind":
+				ti.Kind = TaskKind(u)
+			case "looper":
+				ti.Looper = TaskID(u)
+			case "queue":
+				ti.Queue = QueueID(u)
+			}
+		case "proc":
+			p, err := strconv.ParseInt(val, 10, 32)
+			if err != nil {
+				return ti, fmt.Errorf("task line: bad proc %q", val)
+			}
+			ti.Proc = int32(p)
+		default:
+			return ti, fmt.Errorf("task line: unknown key %q", key)
+		}
+	}
+	return ti, nil
+}
+
+func parseEntryLine(line string) (Entry, error) {
+	var e Entry
+	toks := strings.Fields(line)
+	if len(toks) < 2 {
+		return e, fmt.Errorf("malformed entry %q", line)
+	}
+	op, ok := opByName[toks[0]]
+	if !ok {
+		return e, fmt.Errorf("unknown op %q", toks[0])
+	}
+	e.Op = op
+	sawTask := false
+	for _, tok := range toks[1:] {
+		if tok == "ext" {
+			e.External = true
+			continue
+		}
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return e, fmt.Errorf("malformed operand %q", tok)
+		}
+		switch key {
+		case "delay", "time":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return e, fmt.Errorf("bad %s %q", key, val)
+			}
+			if key == "delay" {
+				e.Delay = v
+			} else {
+				e.Time = v
+			}
+			continue
+		}
+		v, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return e, fmt.Errorf("bad %s %q", key, val)
+		}
+		switch key {
+		case "task":
+			e.Task = TaskID(v)
+			sawTask = true
+		case "target":
+			e.Target = TaskID(v)
+		case "queue":
+			e.Queue = QueueID(v)
+		case "monitor":
+			e.Monitor = MonitorID(v)
+		case "lock":
+			e.Lock = LockID(v)
+		case "listener":
+			e.Listener = ListenerID(v)
+		case "var":
+			e.Var = VarID(v)
+		case "value":
+			e.Value = ObjID(v)
+		case "txn":
+			e.Txn = TxnID(v)
+		case "pc":
+			e.PC = PC(v)
+		case "tpc":
+			e.TargetPC = PC(v)
+		case "branch":
+			e.Branch = BranchKind(v)
+		case "method":
+			e.Method = MethodID(v)
+		default:
+			return e, fmt.Errorf("unknown operand %q", key)
+		}
+	}
+	if !sawTask {
+		return e, fmt.Errorf("entry %q missing task", line)
+	}
+	return e, nil
+}
+
+// DecodeAuto sniffs the format (binary "CAFA" vs text "CAFA-TEXT")
+// and decodes accordingly.
+func DecodeAuto(rd io.Reader) (*Trace, error) {
+	br := bufio.NewReader(rd)
+	head, err := br.Peek(len(textMagic))
+	if err != nil && len(head) == 0 {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if strings.HasPrefix(string(head), textMagic) {
+		return DecodeText(br)
+	}
+	return Decode(br)
+}

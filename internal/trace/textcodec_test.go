@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestTextRoundTrip: the text codec is lossless on a trace exercising
+// every operand kind.
+func TestTextRoundTrip(t *testing.T) {
+	tr := fuzzSeedTrace()
+	var buf bytes.Buffer
+	if err := tr.EncodeText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decode:\n%s\n%v", buf.String(), err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatalf("round trip changed the trace:\nwant %+v\ngot  %+v", tr, got)
+	}
+}
+
+// TestDecodeAutoSniffsBoth: DecodeAuto picks the right codec from the
+// leading bytes.
+func TestDecodeAutoSniffsBoth(t *testing.T) {
+	tr := fuzzSeedTrace()
+	var bin, txt bytes.Buffer
+	if err := tr.Encode(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.EncodeText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{"binary": bin.Bytes(), "text": txt.Bytes()} {
+		got, err := DecodeAuto(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(tr, got) {
+			t.Errorf("%s: DecodeAuto changed the trace", name)
+		}
+	}
+	if _, err := DecodeAuto(strings.NewReader("")); err == nil {
+		t.Error("empty input: want error")
+	}
+}
+
+// TestTextRejectsMalformed spot-checks the parser's error paths.
+func TestTextRejectsMalformed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fuzzSeedTrace().EncodeText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	for name, bad := range map[string]string{
+		"bad header":       "CAFA-TEXT 9\ntasks 0\n",
+		"missing section":  "CAFA-TEXT 1\nentries 0\n",
+		"absurd count":     "CAFA-TEXT 1\ntasks 99999999999\n",
+		"truncated":        good[:len(good)/2],
+		"unknown op":       strings.Replace(good, "\nbegin task=1", "\nbgein task=1", 1),
+		"unknown operand":  strings.Replace(good, "lock=4", "lokc=4", 1),
+		"entry sans task":  strings.Replace(good, "begin task=1", "begin time=0", 1),
+		"unquoted name":    strings.Replace(good, `"mainQ"`, "mainQ", 1),
+		"duplicate method": strings.Replace(good, "methods 1\n9 \"onDestroy\"", "methods 2\n9 \"onDestroy\"\n9 \"x\"", 1),
+	} {
+		if _, err := DecodeText(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+}
+
+// FuzzTextTraceRoundTrip locks the text codec the same way the binary
+// fuzz target does: anything that parses must re-encode canonically
+// and round-trip to the identical trace; malformed input must error,
+// never panic.
+func FuzzTextTraceRoundTrip(f *testing.F) {
+	var seed bytes.Buffer
+	if err := fuzzSeedTrace().EncodeText(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("CAFA-TEXT 1\ntasks 0\nfields 0\nmethods 0\nqueues 0\nentries 0\n"))
+	f.Add([]byte("CAFA-TEXT 1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeText(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.EncodeText(&buf); err != nil {
+			t.Fatalf("decoded trace failed to encode: %v", err)
+		}
+		tr2, err := DecodeText(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode:\n%s\n%v", buf.String(), err)
+		}
+		if !reflect.DeepEqual(tr, tr2) {
+			t.Fatalf("round trip changed the trace:\n first: %+v\nsecond: %+v", tr, tr2)
+		}
+		var buf2 bytes.Buffer
+		if err := tr2.EncodeText(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatal("encoding is not canonical: same trace produced different bytes")
+		}
+		// The two codecs must agree: a text-decoded trace round-trips
+		// through the binary codec unchanged.
+		var bin bytes.Buffer
+		if err := tr.Encode(&bin); err != nil {
+			t.Fatalf("binary encode of text-decoded trace: %v", err)
+		}
+		tr3, err := Decode(bytes.NewReader(bin.Bytes()))
+		if err != nil {
+			t.Fatalf("binary round trip: %v", err)
+		}
+		if !reflect.DeepEqual(tr, tr3) {
+			t.Fatal("binary codec disagrees with text codec on the same trace")
+		}
+	})
+}
