@@ -9,7 +9,17 @@
 //	cafa-analyze [-j N] [-naive] [-keep-dups] [-json]
 //	             [-stats] [-explain] [-context]
 //	             [-no-ifguard] [-no-intra-alloc] [-no-lockset]
+//	             [-progress] [-metrics] [-trace-out file] [-debug-addr addr]
 //	             trace-file|trace-dir ...
+//
+// The observability flags enable the internal/obs layer: -progress
+// streams per-trace batch progress to stderr, -metrics appends the
+// metric summary table, -trace-out writes a Chrome trace-event JSON
+// (load it in Perfetto or chrome://tracing), and -debug-addr serves
+// /metrics plus net/http/pprof for the duration of the run.
+//
+// Exit codes: 1 for malformed inputs (decode/validation failures), 2
+// for I/O failures (missing or unreadable inputs).
 //
 // The legacy single-input form `cafa-analyze -i app.trace` still
 // works.
@@ -17,6 +27,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,45 +38,96 @@ import (
 
 	"cafa/internal/analysis"
 	"cafa/internal/detect"
+	"cafa/internal/obs"
 	"cafa/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "cafa-analyze: %v\n", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// errClass partitions input failures for exit-code reporting.
+type errClass uint8
+
+const (
+	classIO     errClass = iota // missing/unreadable input → exit 2
+	classDecode                 // malformed input → exit 1
+)
+
+func (c errClass) String() string {
+	if c == classIO {
+		return "read"
+	}
+	return "decode"
+}
+
+// inputError tags a failing input with its path and failure class, so
+// batch runs always name the offending file and the caller can tell
+// "the file is unreadable" from "the file is not a trace".
+type inputError struct {
+	path  string
+	class errClass
+	err   error
+}
+
+func (e *inputError) Error() string { return fmt.Sprintf("%s: %s: %v", e.path, e.class, e.err) }
+func (e *inputError) Unwrap() error { return e.err }
+
+// exitCode maps an error to the process exit code: 2 for I/O
+// failures, 1 for everything else (decode errors, usage errors).
+func exitCode(err error) int {
+	var ie *inputError
+	if errors.As(err, &ie) && ie.class == classIO {
+		return 2
+	}
+	return 1
 }
 
 // config carries the parsed command line.
 type config struct {
-	inputs   []string
-	workers  int
-	naive    bool
-	keepDups bool
-	noGuard  bool
-	noAlloc  bool
-	noLocks  bool
-	stats    bool
-	explain  bool
-	context  bool
-	asJSON   bool
+	inputs    []string
+	workers   int
+	naive     bool
+	keepDups  bool
+	noGuard   bool
+	noAlloc   bool
+	noLocks   bool
+	stats     bool
+	explain   bool
+	context   bool
+	asJSON    bool
+	progress  bool
+	metrics   bool
+	traceOut  string
+	debugAddr string
+}
+
+// wantObs reports whether any flag needs the obs layer enabled.
+func (c *config) wantObs() bool {
+	return c.progress || c.metrics || c.traceOut != "" || c.debugAddr != ""
 }
 
 func parseArgs(args []string) (*config, error) {
 	fs := flag.NewFlagSet("cafa-analyze", flag.ContinueOnError)
 	var (
-		in       = fs.String("i", "", "input trace file (legacy; positional arguments are preferred)")
-		workers  = fs.Int("j", 0, "trace-level parallelism (0 = GOMAXPROCS)")
-		naive    = fs.Bool("naive", false, "also run the low-level conflicting-access baseline")
-		keepDups = fs.Bool("keep-dups", false, "report every dynamic race instance")
-		noGuard  = fs.Bool("no-ifguard", false, "disable the if-guard heuristic")
-		noAlloc  = fs.Bool("no-intra-alloc", false, "disable the intra-event-allocation heuristic")
-		noLocks  = fs.Bool("no-lockset", false, "disable the lockset mutual-exclusion filter")
-		stats    = fs.Bool("stats", false, "print pipeline statistics")
-		explain  = fs.Bool("explain", false, "for each race, show why the conventional model hides it")
-		context  = fs.Bool("context", false, "print calling contexts for each race")
-		asJSON   = fs.Bool("json", false, "emit the race report as JSON")
+		in        = fs.String("i", "", "input trace file (legacy; positional arguments are preferred)")
+		workers   = fs.Int("j", 0, "trace-level parallelism (0 = GOMAXPROCS)")
+		naive     = fs.Bool("naive", false, "also run the low-level conflicting-access baseline")
+		keepDups  = fs.Bool("keep-dups", false, "report every dynamic race instance")
+		noGuard   = fs.Bool("no-ifguard", false, "disable the if-guard heuristic")
+		noAlloc   = fs.Bool("no-intra-alloc", false, "disable the intra-event-allocation heuristic")
+		noLocks   = fs.Bool("no-lockset", false, "disable the lockset mutual-exclusion filter")
+		stats     = fs.Bool("stats", false, "print pipeline statistics")
+		explain   = fs.Bool("explain", false, "for each race, show why the conventional model hides it")
+		context   = fs.Bool("context", false, "print calling contexts for each race")
+		asJSON    = fs.Bool("json", false, "emit the race report as JSON")
+		progress  = fs.Bool("progress", false, "stream per-trace progress lines to stderr in batch mode")
+		metrics   = fs.Bool("metrics", false, "append the obs metric summary table to the report")
+		traceOut  = fs.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file")
+		debugAddr = fs.String("debug-addr", "", "serve /metrics and /debug/pprof on this address during the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -88,6 +150,7 @@ func parseArgs(args []string) (*config, error) {
 		naive:   *naive, keepDups: *keepDups,
 		noGuard: *noGuard, noAlloc: *noAlloc, noLocks: *noLocks,
 		stats: *stats, explain: *explain, context: *context, asJSON: *asJSON,
+		progress: *progress, metrics: *metrics, traceOut: *traceOut, debugAddr: *debugAddr,
 	}, nil
 }
 
@@ -98,7 +161,7 @@ func expandInputs(raw []string) ([]string, error) {
 	for _, p := range raw {
 		st, err := os.Stat(p)
 		if err != nil {
-			return nil, err
+			return nil, &inputError{path: p, class: classIO, err: err}
 		}
 		if !st.IsDir() {
 			out = append(out, p)
@@ -124,34 +187,71 @@ type fileReport struct {
 	Result *analysis.Result
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) error {
 	cfg, err := parseArgs(args)
 	if err != nil {
 		return err
+	}
+	if cfg.wantObs() {
+		obs.Enable()
+		defer func() {
+			obs.Disable()
+			obs.Reset()
+		}()
+	}
+	if cfg.debugAddr != "" {
+		ds, err := obs.ServeDebug(cfg.debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer ds.Close()
+		fmt.Fprintf(stderr, "cafa-analyze: debug listener on http://%s (/metrics, /debug/pprof/)\n", ds.Addr())
+	}
+	if cfg.progress {
+		cancel := obs.Subscribe(newProgress(stderr, len(cfg.inputs)).span)
+		defer cancel()
 	}
 	reports, err := analyzeFiles(cfg)
 	if err != nil {
 		return err
 	}
-	if cfg.asJSON {
-		return emitJSON(stdout, reports)
+	if cfg.traceOut != "" {
+		if err := writeTraceEvents(cfg.traceOut); err != nil {
+			return err
+		}
 	}
-	return emitText(stdout, cfg, reports)
+	if cfg.asJSON {
+		if err := emitJSON(stdout, reports); err != nil {
+			return err
+		}
+	} else if err := emitText(stdout, cfg, reports); err != nil {
+		return err
+	}
+	if cfg.metrics {
+		return obs.WriteSummary(stdout)
+	}
+	return nil
+}
+
+// writeTraceEvents dumps the recorded span stream as Chrome
+// trace-event JSON.
+func writeTraceEvents(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	if err := obs.WriteTraceEvents(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	return f.Close()
 }
 
 // analyzeFiles decodes and analyzes every input under the bounded
-// worker pool, preserving input order.
+// worker pool, preserving input order. Each input runs under one
+// "analyze" obs span (decode child, then the pipeline's pass spans),
+// which is what the -progress stream and -trace-out timeline key on.
 func analyzeFiles(cfg *config) ([]*fileReport, error) {
-	traces := make([]*trace.Trace, len(cfg.inputs))
-	decErrs := make([]error, len(cfg.inputs))
-	analysis.ForEach(cfg.workers, len(cfg.inputs), func(i int) {
-		traces[i], decErrs[i] = loadTrace(cfg.inputs[i])
-	})
-	for i, err := range decErrs {
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", cfg.inputs[i], err)
-		}
-	}
 	p := analysis.New(analysis.Options{
 		Detect: detect.Options{
 			DisableIfGuard:         cfg.noGuard,
@@ -162,13 +262,32 @@ func analyzeFiles(cfg *config) ([]*fileReport, error) {
 		Naive:   cfg.naive,
 		Workers: cfg.workers,
 	})
-	results, err := p.AnalyzeAll(traces)
-	if err != nil {
-		return nil, err
-	}
-	reports := make([]*fileReport, len(results))
-	for i, res := range results {
-		reports[i] = &fileReport{File: cfg.inputs[i], Trace: traces[i], Result: res}
+	reports := make([]*fileReport, len(cfg.inputs))
+	errs := make([]error, len(cfg.inputs))
+	analysis.ForEach(cfg.workers, len(cfg.inputs), func(i int) {
+		path := cfg.inputs[i]
+		sp := obs.Start("analyze", obs.String("file", path), obs.Int("idx", i))
+		defer sp.End()
+		spDec := sp.Child("decode")
+		tr, err := loadTrace(path)
+		spDec.End()
+		if err != nil {
+			sp.SetAttr(obs.String("error", err.Error()))
+			errs[i] = err
+			return
+		}
+		res, err := p.AnalyzeSpanned(tr, sp)
+		if err != nil {
+			sp.SetAttr(obs.String("error", err.Error()))
+			errs[i] = fmt.Errorf("%s: %w", path, err)
+			return
+		}
+		reports[i] = &fileReport{File: path, Trace: tr, Result: res}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return reports, nil
 }
@@ -176,15 +295,15 @@ func analyzeFiles(cfg *config) ([]*fileReport, error) {
 func loadTrace(path string) (*trace.Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, &inputError{path: path, class: classIO, err: err}
 	}
 	defer f.Close()
 	tr, err := trace.DecodeAuto(f)
 	if err != nil {
-		return nil, fmt.Errorf("decode: %w", err)
+		return nil, &inputError{path: path, class: classDecode, err: err}
 	}
 	if err := tr.Validate(); err != nil {
-		return nil, fmt.Errorf("trace validation: %w", err)
+		return nil, &inputError{path: path, class: classDecode, err: fmt.Errorf("trace validation: %w", err)}
 	}
 	return tr, nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -17,7 +18,7 @@ var update = flag.Bool("update", false, "rewrite golden files")
 func TestGoldenMultiJSON(t *testing.T) {
 	args := []string{"-json", "testdata/zxing.trace", "testdata/todolist.trace"}
 	var buf bytes.Buffer
-	if err := run(args, &buf); err != nil {
+	if err := run(args, &buf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	golden := filepath.Join("testdata", "golden_multi.json")
@@ -41,12 +42,12 @@ func TestGoldenMultiJSON(t *testing.T) {
 func TestMultiJSONWorkerIndependence(t *testing.T) {
 	inputs := []string{"testdata/zxing.trace", "testdata/todolist.trace"}
 	var serial bytes.Buffer
-	if err := run(append([]string{"-json", "-j", "1"}, inputs...), &serial); err != nil {
+	if err := run(append([]string{"-json", "-j", "1"}, inputs...), &serial, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for _, j := range []string{"2", "8"} {
 		var buf bytes.Buffer
-		if err := run(append([]string{"-json", "-j", j}, inputs...), &buf); err != nil {
+		if err := run(append([]string{"-json", "-j", j}, inputs...), &buf, io.Discard); err != nil {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(serial.Bytes(), buf.Bytes()) {
@@ -59,12 +60,12 @@ func TestMultiJSONWorkerIndependence(t *testing.T) {
 // *.trace files in sorted order.
 func TestDirectoryInput(t *testing.T) {
 	var fromDir bytes.Buffer
-	if err := run([]string{"-json", "testdata"}, &fromDir); err != nil {
+	if err := run([]string{"-json", "testdata"}, &fromDir, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	// Sorted order: todolist.trace before zxing.trace.
 	var explicit bytes.Buffer
-	if err := run([]string{"-json", "testdata/todolist.trace", "testdata/zxing.trace"}, &explicit); err != nil {
+	if err := run([]string{"-json", "testdata/todolist.trace", "testdata/zxing.trace"}, &explicit, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(fromDir.Bytes(), explicit.Bytes()) {
@@ -72,7 +73,7 @@ func TestDirectoryInput(t *testing.T) {
 	}
 
 	empty := t.TempDir()
-	if err := run([]string{"-json", empty}, &bytes.Buffer{}); err == nil {
+	if err := run([]string{"-json", empty}, &bytes.Buffer{}, io.Discard); err == nil {
 		t.Error("empty directory: want error, got nil")
 	}
 }
@@ -83,7 +84,7 @@ func TestDirectoryInput(t *testing.T) {
 func TestGoldenExplain(t *testing.T) {
 	args := []string{"-explain", "-stats", "testdata/zxing.trace"}
 	var buf bytes.Buffer
-	if err := run(args, &buf); err != nil {
+	if err := run(args, &buf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	golden := filepath.Join("testdata", "golden_explain.txt")

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"cafa/internal/obs"
+)
+
+// progress renders per-trace batch progress from the obs span stream:
+// one stderr line per finished "analyze" span (N/M done, the file,
+// its race count, races so far, elapsed wall-clock). The obs sink
+// invokes subscribers serially under its lock, so no extra
+// synchronization is needed and lines never interleave; under -j 1
+// the spans finish in input order, making the stream deterministic up
+// to the elapsed column.
+type progress struct {
+	w     io.Writer
+	total int
+	done  int
+	races int
+	t0    time.Time
+}
+
+func newProgress(w io.Writer, total int) *progress {
+	return &progress{w: w, total: total, t0: time.Now()}
+}
+
+// span consumes one finished span (the obs.Subscribe callback).
+func (p *progress) span(d obs.SpanData) {
+	if d.Name != "analyze" {
+		return
+	}
+	p.done++
+	races := "-"
+	if v := d.Attr("races"); v != "" {
+		races = v
+		if n, err := strconv.Atoi(v); err == nil {
+			p.races += n
+		}
+	}
+	if e := d.Attr("error"); e != "" {
+		races = "error"
+	}
+	fmt.Fprintf(p.w, "progress: %d/%d %s: races=%s (total %d, elapsed %s)\n",
+		p.done, p.total, d.Attr("file"), races, p.races,
+		time.Since(p.t0).Round(time.Millisecond))
+}

@@ -14,6 +14,8 @@
 //	cafa-bench -validate            # adversarially replay each app's first harmful race
 //	cafa-bench -all                 # everything
 //	          [-scale 1] [-seed 1] [-iters 3]
+//	          [-metrics]                   # append pipeline-metrics summary table
+//	          [-metrics-out metrics.prom]  # Prometheus snapshot of pipeline counters
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"cafa/internal/analysis"
 	"cafa/internal/apps"
 	"cafa/internal/detect"
+	"cafa/internal/obs"
 	"cafa/internal/replay"
 	"cafa/internal/report"
 	"cafa/internal/sim"
@@ -46,8 +49,23 @@ func main() {
 		jobs      = flag.Int("j", 0, "app-level parallelism for the analysis pipeline (0 = GOMAXPROCS)")
 		seed      = flag.Uint64("seed", 1, "scheduler seed")
 		iters     = flag.Int("iters", 3, "timing repetitions for Figure 8")
+		metrics   = flag.Bool("metrics", false, "append a summary of pipeline metrics after the experiments")
+		metricsTo = flag.String("metrics-out", "", "write a Prometheus snapshot of pipeline metrics to this file")
 	)
 	flag.Parse()
+	if *metrics || *metricsTo != "" {
+		obs.Enable()
+	}
+	if *metricsTo != "" {
+		defer writeMetricsSnapshot(*metricsTo)
+	}
+	if *metrics {
+		defer func() {
+			if err := obs.WriteSummary(os.Stdout); err != nil {
+				fail("%v", err)
+			}
+		}()
+	}
 	if *all {
 		*table1, *fig8, *lowlevel, *ablation, *baselines, *scaling = true, true, true, true, true, true
 	}
@@ -286,6 +304,24 @@ func main() {
 			}
 		}
 	}
+}
+
+// writeMetricsSnapshot dumps the accumulated pipeline metrics in
+// Prometheus text exposition format, so a bench run leaves a
+// machine-readable counter snapshot next to its BENCH_*.json output.
+func writeMetricsSnapshot(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := obs.WritePrometheus(f); err != nil {
+		f.Close()
+		fail("%v", err)
+	}
+	if err := f.Close(); err != nil {
+		fail("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "cafa-bench: metrics snapshot written to %s\n", path)
 }
 
 func fail(format string, args ...any) {

@@ -17,7 +17,7 @@
 // Usage:
 //
 //	cafa-lint [-app name|all] [-trace file] [-dynamic]
-//	          [-scale N] [-seed N] [-json] [-bench]
+//	          [-scale N] [-seed N] [-json] [-bench] [-metrics]
 package main
 
 import (
@@ -30,6 +30,7 @@ import (
 	"cafa/internal/analysis"
 	"cafa/internal/apps"
 	"cafa/internal/dataflow"
+	"cafa/internal/obs"
 	"cafa/internal/sim"
 	"cafa/internal/static"
 	"cafa/internal/trace"
@@ -50,6 +51,7 @@ type config struct {
 	seed      uint64
 	asJSON    bool
 	bench     bool
+	metrics   bool
 }
 
 func parseArgs(args []string) (*config, error) {
@@ -62,6 +64,7 @@ func parseArgs(args []string) (*config, error) {
 		seed    = fs.Uint64("seed", 1, "scheduler seed for -dynamic runs")
 		asJSON  = fs.Bool("json", false, "emit the lint report as JSON")
 		bench   = fs.Bool("bench", false, "emit per-app static-pass timings as JSON (BENCH_static.json)")
+		metrics = fs.Bool("metrics", false, "append a summary of static-pass metrics after the report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -72,6 +75,7 @@ func parseArgs(args []string) (*config, error) {
 	cfg := &config{
 		app: *app, traceFile: *traceIn, dynamic: *dynamic,
 		scale: *scale, seed: *seed, asJSON: *asJSON, bench: *bench,
+		metrics: *metrics,
 	}
 	if cfg.traceFile != "" && cfg.app == "all" {
 		return nil, fmt.Errorf("-trace needs a single -app (the trace must match the app's bytecode)")
@@ -114,6 +118,13 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if cfg.metrics {
+		obs.Enable()
+		defer func() {
+			obs.Disable()
+			obs.Reset()
+		}()
+	}
 	lints := make([]*appLint, len(sp))
 	errs := make([]error, len(sp))
 	analysis.ForEach(0, len(sp), func(i int) {
@@ -126,12 +137,16 @@ func run(args []string, stdout io.Writer) error {
 	}
 	switch {
 	case cfg.bench:
-		return emitBench(stdout, lints)
+		err = emitBench(stdout, lints)
 	case cfg.asJSON:
-		return emitJSON(stdout, lints)
+		err = emitJSON(stdout, lints)
 	default:
-		return emitText(stdout, lints)
+		err = emitText(stdout, lints)
 	}
+	if err == nil && cfg.metrics {
+		err = obs.WriteSummary(stdout)
+	}
+	return err
 }
 
 func lintApp(cfg *config, spec apps.Spec) (*appLint, error) {

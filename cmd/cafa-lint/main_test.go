@@ -122,6 +122,29 @@ func TestBenchOutput(t *testing.T) {
 	}
 }
 
+// TestMetricsFlag checks -metrics: the report itself is unchanged and
+// a metrics table with the static-pass counters follows it.
+func TestMetricsFlag(t *testing.T) {
+	var plain, withMetrics bytes.Buffer
+	if err := run([]string{"-app", "ZXing"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-app", "ZXing", "-metrics"}, &withMetrics); err != nil {
+		t.Fatal(err)
+	}
+	out := withMetrics.String()
+	if !strings.HasPrefix(out, plain.String()) {
+		t.Error("-metrics changed the report body")
+	}
+	tail := strings.TrimPrefix(out, plain.String())
+	if !strings.Contains(tail, "--- metrics ---") || !strings.Contains(tail, "static_analyze_runs_total") {
+		t.Errorf("missing metrics table after report:\n%s", tail)
+	}
+	if strings.Contains(plain.String(), "--- metrics ---") {
+		t.Error("metrics table leaked into the default output")
+	}
+}
+
 // TestBadFlags covers the argument contract.
 func TestBadFlags(t *testing.T) {
 	for _, args := range [][]string{

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"cafa/internal/apps"
+	"cafa/internal/obs"
+	"cafa/internal/trace"
+)
+
+// renderResult flattens everything the analyzer reports — rendered
+// race lines, detector stats, graph stats — into one byte string so
+// the differential check below is a single bytes.Equal.
+func renderResult(tr *trace.Trace, res *Result) []byte {
+	var buf bytes.Buffer
+	for _, r := range res.Races {
+		buf.WriteString(r.Describe(tr))
+		buf.WriteByte('\n')
+	}
+	fmt.Fprintf(&buf, "stats: %+v\n", res.Stats)
+	fmt.Fprintf(&buf, "graph: %+v\n", res.GraphStats)
+	fmt.Fprintf(&buf, "conv: %+v\n", res.ConvStats)
+	return buf.Bytes()
+}
+
+// TestObsDoesNotChangeResults is the observability differential proof:
+// on every one of the ten app scenarios the pipeline's output (races,
+// stats, rendered report) must be byte-identical with instrumentation
+// enabled and disabled. The obs layer only observes — the analysis
+// never reads anything back from it.
+func TestObsDoesNotChangeResults(t *testing.T) {
+	if obs.Enabled() {
+		t.Fatal("obs unexpectedly enabled at test start")
+	}
+	p := New(Options{})
+	for _, spec := range apps.Registry {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			tr := appTrace(t, spec)
+
+			off, err := p.Analyze(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantBytes := renderResult(tr, off)
+
+			obs.Enable()
+			defer func() {
+				obs.Disable()
+				obs.Reset()
+			}()
+			on, err := p.Analyze(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotBytes := renderResult(tr, on)
+
+			if !bytes.Equal(wantBytes, gotBytes) {
+				t.Errorf("enabling obs changed the output:\n--- off\n%s--- on\n%s", wantBytes, gotBytes)
+			}
+			// And the instrumentation actually observed the run.
+			if len(obs.Spans()) == 0 {
+				t.Error("obs enabled but no spans recorded")
+			}
+		})
+	}
+}

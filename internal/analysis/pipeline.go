@@ -22,8 +22,20 @@ import (
 	"cafa/internal/dvm"
 	"cafa/internal/hb"
 	"cafa/internal/lockset"
+	"cafa/internal/obs"
 	"cafa/internal/static"
 	"cafa/internal/trace"
+)
+
+// Pipeline observability (internal/obs). Each analyzed trace gets a
+// span tree: the per-trace span (one track — batch concurrency shows
+// up as parallel tracks) with a serial prescan child, forked spans
+// for the concurrently-built passes, and a serial detect child after
+// the join. Counters track batch scheduling.
+var (
+	cTracesAnalyzed = obs.NewCounter("analysis_traces_analyzed_total")
+	cTraceErrors    = obs.NewCounter("analysis_trace_errors_total")
+	cBatchTraces    = obs.NewCounter("analysis_batch_traces_total")
 )
 
 // Options configures a Pipeline.
@@ -108,8 +120,22 @@ func New(opts Options) *Pipeline {
 // runs once; the two causality models and the lockset pass then run
 // concurrently, and the detector joins them.
 func (p *Pipeline) Analyze(tr *trace.Trace) (*Result, error) {
+	sp := obs.Start("pipeline.analyze")
+	defer sp.End()
+	return p.AnalyzeSpanned(tr, sp)
+}
+
+// AnalyzeSpanned is Analyze under a caller-owned obs span (nil is
+// fine): per-pass sub-spans attach to it and it gains a "races"
+// attribute on success, so callers that label per-trace spans (the
+// cafa-analyze batch driver, the -progress stream) see the detector
+// outcome on the span itself. The caller Ends sp.
+func (p *Pipeline) AnalyzeSpanned(tr *trace.Trace, sp *obs.Span) (*Result, error) {
+	spScan := sp.Child("hb.prescan")
 	ps, err := hb.Scan(tr)
+	spScan.End()
 	if err != nil {
+		cTraceErrors.Inc()
 		return nil, err
 	}
 	var (
@@ -122,14 +148,20 @@ func (p *Pipeline) Analyze(tr *trace.Trace) (*Result, error) {
 	wg.Add(3)
 	go func() {
 		defer wg.Done()
+		spG := sp.Fork("hb.graph")
+		defer spG.End()
 		g, gErr = hb.BuildFromScan(ps, hb.Options{})
 	}()
 	go func() {
 		defer wg.Done()
+		spC := sp.Fork("hb.conventional")
+		defer spC.End()
 		conv, convErr = hb.BuildFromScan(ps, hb.Options{Conventional: true})
 	}()
 	go func() {
 		defer wg.Done()
+		spL := sp.Fork("lockset")
+		defer spL.End()
 		ls, lsErr = lockset.Compute(tr)
 	}()
 	if p.opts.wantStatic() {
@@ -139,18 +171,23 @@ func (p *Pipeline) Analyze(tr *trace.Trace) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			spS := sp.Fork("static")
+			defer spS.End()
 			p.staticOnce.Do(func() { p.static = static.Analyze(p.opts.Program) })
 			st = p.static
 		}()
 	}
 	wg.Wait()
 	if gErr != nil {
+		cTraceErrors.Inc()
 		return nil, gErr
 	}
 	if convErr != nil {
+		cTraceErrors.Inc()
 		return nil, convErr
 	}
 	if lsErr != nil {
+		cTraceErrors.Inc()
 		return nil, lsErr
 	}
 	in := detect.Input{
@@ -168,8 +205,11 @@ func (p *Pipeline) Analyze(tr *trace.Trace) (*Result, error) {
 			in.StaticGuards = st.Guards
 		}
 	}
+	spDet := sp.Child("detect")
 	res, err := detect.Detect(in, p.opts.Detect)
+	spDet.End()
 	if err != nil {
+		cTraceErrors.Inc()
 		return nil, err
 	}
 	out := &Result{
@@ -184,8 +224,12 @@ func (p *Pipeline) Analyze(tr *trace.Trace) (*Result, error) {
 		Static:       st,
 	}
 	if p.opts.Naive {
+		spN := sp.Child("detect.naive")
 		out.Naive = detect.Naive(g)
+		spN.End()
 	}
+	cTracesAnalyzed.Inc()
+	sp.SetAttr(obs.Int("races", len(out.Races)))
 	return out, nil
 }
 
@@ -196,8 +240,11 @@ func (p *Pipeline) Analyze(tr *trace.Trace) (*Result, error) {
 func (p *Pipeline) AnalyzeAll(traces []*trace.Trace) ([]*Result, error) {
 	results := make([]*Result, len(traces))
 	errs := make([]error, len(traces))
+	cBatchTraces.Add(int64(len(traces)))
 	ForEach(p.opts.Workers, len(traces), func(i int) {
-		results[i], errs[i] = p.Analyze(traces[i])
+		sp := obs.Start("pipeline.analyze", obs.Int("idx", i))
+		results[i], errs[i] = p.AnalyzeSpanned(traces[i], sp)
+		sp.End()
 	})
 	for i, err := range errs {
 		if err != nil {

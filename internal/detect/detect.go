@@ -7,7 +7,23 @@ import (
 	"cafa/internal/dataflow"
 	"cafa/internal/hb"
 	"cafa/internal/lockset"
+	"cafa/internal/obs"
 	"cafa/internal/trace"
+)
+
+// Detector observability (internal/obs): the pipeline-stage tallies
+// as live process-wide counters, so a long batch run's progress is
+// visible (via -debug-addr /metrics or the -metrics table) while it
+// runs — end-of-run Stats structs only aggregate after the fact.
+var (
+	cCandidates     = obs.NewCounter("detect_candidates_total")
+	cFilteredOrder  = obs.NewCounter("detect_filtered_ordered_total")
+	cFilteredLocks  = obs.NewCounter("detect_filtered_lockset_total")
+	cFilteredAlloc  = obs.NewCounter("detect_filtered_intra_alloc_total")
+	cFilteredGuard  = obs.NewCounter("detect_filtered_ifguard_total")
+	cFilteredStatic = obs.NewCounter("detect_filtered_static_guard_total")
+	cDuplicates     = obs.NewCounter("detect_duplicates_total")
+	cRacesReported  = obs.NewCounter("detect_races_reported_total")
 )
 
 // Class categorizes a reported race per Table 1.
@@ -231,6 +247,17 @@ func Detect(in Input, opts Options) (*Result, error) {
 	sort.SliceStable(res.Races, func(i, j int) bool {
 		return res.Races[i].Key().Less(res.Races[j].Key())
 	})
+	// Metrics are batched per Detect call: per-candidate atomic
+	// increments in the loop above cost measurable wall-clock on large
+	// traces, and the Stats struct already tallies every stage.
+	cCandidates.Add(int64(res.Stats.Candidates))
+	cFilteredOrder.Add(int64(res.Stats.FilteredOrdered))
+	cFilteredLocks.Add(int64(res.Stats.FilteredLockset))
+	cFilteredAlloc.Add(int64(res.Stats.FilteredIntraAlloc))
+	cFilteredGuard.Add(int64(res.Stats.FilteredIfGuard))
+	cFilteredStatic.Add(int64(res.Stats.FilteredStaticGuard))
+	cDuplicates.Add(int64(res.Stats.Duplicates))
+	cRacesReported.Add(int64(len(res.Races)))
 	return res, nil
 }
 

@@ -39,7 +39,21 @@ import (
 	"fmt"
 	"slices"
 
+	"cafa/internal/obs"
 	"cafa/internal/trace"
+)
+
+// Graph-construction observability (internal/obs). Counts accumulate
+// once per build (from the already-maintained per-graph tallies), and
+// the worklist histogram observes the pending-edge batch consumed by
+// each incremental-closure round — the shape of the fixpoint tail.
+var (
+	cBuilds           = obs.NewCounter("hb_builds_total")
+	cBaseEdges        = obs.NewCounter("hb_base_edges_total")
+	cRuleEdges        = obs.NewCounter("hb_rule_edges_total")
+	cFixpointRounds   = obs.NewCounter("hb_fixpoint_rounds_total")
+	hWorklistLen      = obs.NewHistogram("hb_closure_worklist_len")
+	hClosureRoundsPer = obs.NewHistogram("hb_rounds_per_build")
 )
 
 // Options configures graph construction.
@@ -156,6 +170,11 @@ func BuildFromScan(ps *Prescan, opts Options) (*Graph, error) {
 			break
 		}
 	}
+	cBuilds.Inc()
+	cBaseEdges.Add(int64(g.baseEdges))
+	cRuleEdges.Add(int64(g.ruleEdges))
+	cFixpointRounds.Add(int64(g.rounds))
+	hClosureRoundsPer.Observe(int64(g.rounds))
 	return g, nil
 }
 
@@ -212,6 +231,7 @@ func (g *Graph) incrementalClosure() {
 	if len(g.pending) == 0 {
 		return
 	}
+	hWorklistLen.Observe(int64(len(g.pending)))
 	// Bucket the pending edges by descending source so the reverse
 	// sweep consumes them in order — no per-node lookup structure.
 	slices.SortFunc(g.pending, func(a, b edge) int { return int(b.u) - int(a.u) })

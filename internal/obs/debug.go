@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugServer is the optional -debug-addr HTTP listener: /metrics
+// serves the Prometheus text snapshot, /debug/pprof/* the standard
+// Go profiles. It lives for the duration of a batch run; Close stops
+// the listener.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts the debug listener on addr (e.g. "localhost:0")
+// and serves until Close. It returns immediately.
+func ServeDebug(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ds := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = ds.srv.Serve(ln) }()
+	return ds, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the listener.
+func (d *DebugServer) Close() error { return d.srv.Close() }

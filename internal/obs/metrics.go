@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The metric registry is process-wide: NewCounter("x") anywhere
+// returns the same *Counter, so instrumented packages hold their
+// handles in package-level vars with zero lookup cost on the hot
+// path. Mutations are gated on the enabled flag (one atomic load);
+// reads (Value, exporters) are never gated so a snapshot can be taken
+// after Disable.
+
+var registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewCounter returns the process-wide counter with the given name,
+// creating it on first use.
+func NewCounter(name string) *Counter {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.counters == nil {
+		registry.counters = make(map[string]*Counter)
+	}
+	if c, ok := registry.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	registry.counters[name] = c
+	return c
+}
+
+// Add increments the counter by n when obs is enabled.
+func (c *Counter) Add(n int64) {
+	if enabled.Load() {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one when obs is enabled.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Name returns the registered metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a set-to-current-value metric.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewGauge returns the process-wide gauge with the given name.
+func NewGauge(name string) *Gauge {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.gauges == nil {
+		registry.gauges = make(map[string]*Gauge)
+	}
+	if g, ok := registry.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name}
+	registry.gauges[name] = g
+	return g
+}
+
+// Set stores v when obs is enabled.
+func (g *Gauge) Set(v int64) {
+	if enabled.Load() {
+		g.v.Store(v)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Name returns the registered metric name.
+func (g *Gauge) Name() string { return g.name }
+
+// histBuckets is the number of exponential histogram buckets: bucket
+// i counts observations v with 2^(i-1) < v <= 2^i (bucket 0 counts
+// v <= 1), and the last bucket is the +Inf overflow.
+const histBuckets = 32
+
+// Histogram is a fixed power-of-two-bucket histogram of non-negative
+// integer observations (lengths, sizes, iteration counts).
+type Histogram struct {
+	name    string
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// NewHistogram returns the process-wide histogram with the given name.
+func NewHistogram(name string) *Histogram {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.hists == nil {
+		registry.hists = make(map[string]*Histogram)
+	}
+	if h, ok := registry.hists[name]; ok {
+		return h
+	}
+	h := &Histogram{name: name}
+	registry.hists[name] = h
+	return h
+}
+
+// bucketIndex maps an observation to its bucket: ceil(log2(v)),
+// clamped to the overflow bucket.
+func bucketIndex(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(v - 1)) // ceil(log2 v) for v >= 2
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one observation when obs is enabled. Negative
+// values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Name returns the registered metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// snapshot views for the exporters, sorted by name for deterministic
+// output.
+
+func counterSnapshot() []*Counter {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make([]*Counter, 0, len(registry.counters))
+	for _, c := range registry.counters {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func gaugeSnapshot() []*Gauge {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make([]*Gauge, 0, len(registry.gauges))
+	for _, g := range registry.gauges {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func histSnapshot() []*Histogram {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make([]*Histogram, 0, len(registry.hists))
+	for _, h := range registry.hists {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func resetMetrics() {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	for _, c := range registry.counters {
+		c.v.Store(0)
+	}
+	for _, g := range registry.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range registry.hists {
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+		h.count.Store(0)
+		h.sum.Store(0)
+		h.max.Store(0)
+	}
+}

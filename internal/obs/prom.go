@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// Prometheus text exposition (version 0.0.4) of the metric registry,
+// plus the human -metrics summary table the CLIs append.
+
+// WritePrometheus writes every registered metric in Prometheus text
+// exposition format, sorted by name. Zero-valued metrics are emitted
+// too: a scrape must see every series the process owns.
+func WritePrometheus(w io.Writer) error {
+	for _, c := range counterSnapshot() {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.Value()); err != nil {
+			return err
+		}
+	}
+	for _, g := range gaugeSnapshot() {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.name, g.name, g.Value()); err != nil {
+			return err
+		}
+	}
+	for _, h := range histSnapshot() {
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.name); err != nil {
+			return err
+		}
+		cum := int64(0)
+		bound := int64(1)
+		for i := 0; i < histBuckets-1; i++ {
+			cum += h.buckets[i].Load()
+			// Trailing empty buckets collapse into +Inf; intermediate
+			// bounds print so cumulative counts stay well-formed.
+			if cum > 0 || i == 0 {
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", h.name, bound, cum); err != nil {
+					return err
+				}
+			}
+			if bound > h.Max() {
+				break
+			}
+			bound <<= 1
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			h.name, h.Count(), h.name, h.Sum(), h.name, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSummary writes the human-readable metrics table (the -metrics
+// flag of cafa-analyze / cafa-lint / cafa-bench). Only nonzero
+// metrics print, so short runs stay short.
+func WriteSummary(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "--- metrics ---")
+	for _, c := range counterSnapshot() {
+		if v := c.Value(); v != 0 {
+			fmt.Fprintf(tw, "%s\t%d\n", c.name, v)
+		}
+	}
+	for _, g := range gaugeSnapshot() {
+		if v := g.Value(); v != 0 {
+			fmt.Fprintf(tw, "%s\t%d\n", g.name, v)
+		}
+	}
+	for _, h := range histSnapshot() {
+		if n := h.Count(); n != 0 {
+			fmt.Fprintf(tw, "%s\tcount=%d sum=%d mean=%.1f max=%d\n",
+				h.name, n, h.Sum(), float64(h.Sum())/float64(n), h.Max())
+		}
+	}
+	if d := DroppedSpans(); d != 0 {
+		fmt.Fprintf(tw, "obs_spans_dropped\t%d\n", d)
+	}
+	return tw.Flush()
+}

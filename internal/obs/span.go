@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value span attribute. Values are strings so the
+// span sink stays allocation-predictable; Int formats for callers.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Val: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Val: strconv.Itoa(v)} }
+
+// Span is one timed region of work. A nil *Span is a valid no-op span
+// (Start returns nil while obs is disabled), so call sites never need
+// an enabled check of their own.
+type Span struct {
+	name  string
+	track int32
+	start time.Duration // since epoch
+	attrs []Attr
+	ended atomic.Bool
+}
+
+// SpanData is a finished span as recorded in the sink and handed to
+// subscribers.
+type SpanData struct {
+	Name  string
+	Track int32
+	Start time.Duration // since process epoch
+	Dur   time.Duration
+	Attrs []Attr
+}
+
+// Attr returns the value of the named attribute ("" when absent).
+func (d SpanData) Attr(key string) string {
+	for _, a := range d.Attrs {
+		if a.Key == key {
+			return a.Val
+		}
+	}
+	return ""
+}
+
+// nextTrack allocates goroutine-track ids for Start/Fork spans.
+var nextTrack atomic.Int32
+
+// Start begins a top-level span on a fresh track. Returns nil (a
+// no-op span) while obs is disabled.
+func Start(name string, attrs ...Attr) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	return &Span{name: name, track: nextTrack.Add(1), start: sinceEpoch(), attrs: attrs}
+}
+
+// Child begins a sub-span on the same track as s: serial phases of
+// one logical thread of work, rendered as nested slices.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{name: name, track: s.track, start: sinceEpoch(), attrs: attrs}
+}
+
+// Fork begins a sub-span on a fresh track: work that runs
+// concurrently with its parent (or with sibling forks), rendered side
+// by side.
+func (s *Span) Fork(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{name: name, track: nextTrack.Add(1), start: sinceEpoch(), attrs: attrs}
+}
+
+// SetAttr attaches (or appends) an attribute; call before End.
+func (s *Span) SetAttr(a Attr) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, a)
+}
+
+// End finishes the span and records it. Safe to call at most once per
+// span effectively; duplicate Ends are ignored.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	record(SpanData{
+		Name:  s.name,
+		Track: s.track,
+		Start: s.start,
+		Dur:   sinceEpoch() - s.start,
+		Attrs: s.attrs,
+	})
+}
+
+// maxRecordedSpans bounds sink memory; beyond it spans are counted as
+// dropped but still delivered to subscribers (streaming consumers —
+// the -progress printer — keep working on arbitrarily long runs).
+const maxRecordedSpans = 1 << 20
+
+var sink struct {
+	mu      sync.Mutex
+	spans   []SpanData
+	dropped int64
+	subs    map[int]func(SpanData)
+	nextSub int
+}
+
+// record stores a finished span and notifies subscribers. Subscribers
+// run synchronously under the sink lock, so their side effects (e.g.
+// progress lines) never interleave.
+func record(d SpanData) {
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.spans) < maxRecordedSpans {
+		sink.spans = append(sink.spans, d)
+	} else {
+		sink.dropped++
+	}
+	for _, fn := range sink.subs {
+		fn(d)
+	}
+}
+
+// Subscribe registers fn to be called for every span that ends, and
+// returns a cancel function. fn runs under the span sink lock: keep
+// it short and never start/end spans from inside it.
+func Subscribe(fn func(SpanData)) (cancel func()) {
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if sink.subs == nil {
+		sink.subs = make(map[int]func(SpanData))
+	}
+	id := sink.nextSub
+	sink.nextSub++
+	sink.subs[id] = fn
+	return func() {
+		sink.mu.Lock()
+		defer sink.mu.Unlock()
+		delete(sink.subs, id)
+	}
+}
+
+// Spans returns a snapshot of the recorded spans, in completion order.
+func Spans() []SpanData {
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	out := make([]SpanData, len(sink.spans))
+	copy(out, sink.spans)
+	return out
+}
+
+// DroppedSpans reports spans discarded past the sink bound.
+func DroppedSpans() int64 {
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	return sink.dropped
+}
+
+func resetSpans() {
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	sink.spans = nil
+	sink.dropped = 0
+}

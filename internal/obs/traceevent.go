@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event exporter: the recorded spans rendered as
+// complete ("X") events, loadable in Perfetto or chrome://tracing.
+// Each obs track becomes one tid; Child spans nest inside their
+// parent's slice by time containment, Fork/Start tracks render side
+// by side — concurrent per-trace analysis shows up as parallel rows.
+
+// traceEvent is one entry of the trace-event JSON array.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds since epoch
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// traceFile is the top-level trace-event JSON object.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTraceEvents writes every recorded span as Chrome trace-event
+// JSON. Events are sorted by (start, track, name) so the output is
+// independent of span completion order (and therefore of analysis
+// parallelism, up to the timestamps themselves).
+func WriteTraceEvents(w io.Writer) error {
+	spans := Spans()
+	sort.SliceStable(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		return a.Name < b.Name
+	})
+	out := traceFile{TraceEvents: make([]traceEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
+	for _, sp := range spans {
+		ev := traceEvent{
+			Name: sp.Name,
+			Cat:  "cafa",
+			Ph:   "X",
+			Ts:   float64(sp.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(sp.Dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  int(sp.Track),
+		}
+		if len(sp.Attrs) > 0 {
+			ev.Args = make(map[string]string, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				ev.Args[a.Key] = a.Val
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

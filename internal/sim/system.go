@@ -7,7 +7,18 @@ import (
 	"sort"
 
 	"cafa/internal/dvm"
+	"cafa/internal/obs"
 	"cafa/internal/trace"
+)
+
+// Runtime observability (internal/obs). Dispatch is counted per event
+// (not per instruction — steps accumulate once per Run) so the
+// tracing half stays unmeasurably cheap with obs enabled.
+var (
+	cEventsDispatched = obs.NewCounter("sim_events_dispatched_total")
+	cThreadsStarted   = obs.NewCounter("sim_threads_started_total")
+	cSimSteps         = obs.NewCounter("sim_steps_total")
+	cSimRuns          = obs.NewCounter("sim_runs_total")
 )
 
 // UninstrumentedListenerBase partitions listener handles: listeners at
@@ -243,6 +254,7 @@ func (s *System) StartThread(name, method string, arg dvm.Value) (*Task, error) 
 		return nil, err
 	}
 	t := s.allocTask(name, trace.KindThread, 0)
+	cThreadsStarted.Inc()
 	s.tracer.DeclareTask(trace.TaskInfo{ID: t.id, Kind: trace.KindThread, Name: name, Proc: 0})
 	ctx, err := s.newContext(t, m, arg)
 	if err != nil {
@@ -378,6 +390,8 @@ func (s *System) Run() error {
 		}
 	}
 	s.finish()
+	cSimRuns.Inc()
+	cSimSteps.Add(int64(s.steps))
 	return nil
 }
 
@@ -482,6 +496,7 @@ func (s *System) popEvent(l *Looper) {
 	t.ctx = ctx
 	t.state = tsReady
 	l.current = t
+	cEventsDispatched.Inc()
 	s.emit(trace.Entry{Task: t.id, Op: trace.OpBegin, Queue: l.qid, External: t.external})
 	t.beginEmitted = true
 	if t.rpcTxn != 0 {

@@ -23,6 +23,18 @@ import (
 
 	"cafa/internal/dataflow"
 	"cafa/internal/dvm"
+	"cafa/internal/obs"
+)
+
+// Static-pass observability (internal/obs): per-pass spans under one
+// "static.analyze" span (serial passes — they nest on one track) and
+// site counters. The Timing struct keeps feeding BENCH_static.json;
+// spans add the same data to the shared trace-event timeline.
+var (
+	cStaticRuns  = obs.NewCounter("static_analyze_runs_total")
+	cDerefSites  = obs.NewCounter("static_deref_sites_total")
+	cGuardSites  = obs.NewCounter("static_guarded_sites_total")
+	cStaticPairs = obs.NewCounter("static_candidate_pairs_total")
 )
 
 // Timing records wall-clock per pass for the static layer
@@ -59,30 +71,39 @@ type Result struct {
 
 // Analyze runs every static pass over a program.
 func Analyze(p *dvm.Program) *Result {
+	sp := obs.Start("static.analyze")
+	defer sp.End()
 	res := &Result{}
 	start := time.Now()
 
-	t := time.Now()
-	res.Graph = BuildCallGraph(p)
-	res.Timing.CallGraph = time.Since(t)
-
-	t = time.Now()
-	res.Resolutions, res.Derefs = ResolveDerefs(res.Graph)
-	res.Timing.Resolve = time.Since(t)
-
-	t = time.Now()
-	res.Guards = Guards(res.Graph)
-	res.Timing.Guards = time.Since(t)
-
-	t = time.Now()
-	res.AllocSafe = AllocSafe(res.Graph)
-	res.NonEscaping = NonEscaping(res.Graph)
-	res.Timing.Alloc = time.Since(t)
-
-	t = time.Now()
-	res.Pairs = EnumeratePairs(res.Graph, res.Resolutions, res.Guards, res.AllocSafe)
-	res.Timing.Pairs = time.Since(t)
+	pass := func(name string, dst *time.Duration, fn func()) {
+		child := sp.Child("static." + name)
+		t := time.Now()
+		fn()
+		*dst = time.Since(t)
+		child.End()
+	}
+	pass("callgraph", &res.Timing.CallGraph, func() { res.Graph = BuildCallGraph(p) })
+	pass("interproc", &res.Timing.Resolve, func() { res.Resolutions, res.Derefs = ResolveDerefs(res.Graph) })
+	pass("guards", &res.Timing.Guards, func() { res.Guards = Guards(res.Graph) })
+	pass("alloc", &res.Timing.Alloc, func() {
+		res.AllocSafe = AllocSafe(res.Graph)
+		res.NonEscaping = NonEscaping(res.Graph)
+	})
+	pass("pairs", &res.Timing.Pairs, func() {
+		res.Pairs = EnumeratePairs(res.Graph, res.Resolutions, res.Guards, res.AllocSafe)
+	})
 
 	res.Timing.Total = time.Since(start)
+	cStaticRuns.Inc()
+	cDerefSites.Add(int64(len(res.Resolutions)))
+	guarded := 0
+	for _, v := range res.Guards {
+		if v {
+			guarded++
+		}
+	}
+	cGuardSites.Add(int64(guarded))
+	cStaticPairs.Add(int64(len(res.Pairs)))
 	return res
 }

@@ -11,7 +11,16 @@ package synth
 import (
 	"fmt"
 
+	"cafa/internal/obs"
 	"cafa/internal/trace"
+)
+
+// Generator observability (internal/obs): volume counters for
+// synthetic workload production, accumulated once per generated
+// trace.
+var (
+	cSynthTraces  = obs.NewCounter("synth_traces_total")
+	cSynthEntries = obs.NewCounter("synth_entries_emitted_total")
 )
 
 // Config sizes a synthetic trace.
@@ -181,5 +190,7 @@ func Trace(cfg Config) *trace.Trace {
 			add(trace.Entry{Task: ev, Op: trace.OpEnd})
 		}
 	}
+	cSynthTraces.Inc()
+	cSynthEntries.Add(int64(len(tr.Entries)))
 	return tr
 }

@@ -7,7 +7,30 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"cafa/internal/obs"
 )
+
+// Codec observability (internal/obs): bytes and entries written by
+// the binary and text encoders (trace emission volume). The counting
+// wrapper sits under bufio, so the hot append path is untouched.
+var (
+	cEncodedTraces  = obs.NewCounter("trace_encoded_traces_total")
+	cEncodedEntries = obs.NewCounter("trace_encoded_entries_total")
+	cEncodedBytes   = obs.NewCounter("trace_encoded_bytes_total")
+)
+
+// countingWriter counts bytes flowing to the underlying writer.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
 
 // Binary trace format ("logger device" format):
 //
@@ -44,7 +67,13 @@ const (
 
 // Encode writes the trace in binary form.
 func (tr *Trace) Encode(w io.Writer) error {
-	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: w}
+	defer func() {
+		cEncodedTraces.Inc()
+		cEncodedEntries.Add(int64(len(tr.Entries)))
+		cEncodedBytes.Add(cw.n)
+	}()
+	bw := bufio.NewWriter(cw)
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
 	}

@@ -31,7 +31,13 @@ const (
 
 // EncodeText writes the trace in the lossless text form.
 func (tr *Trace) EncodeText(w io.Writer) error {
-	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: w}
+	defer func() {
+		cEncodedTraces.Inc()
+		cEncodedEntries.Add(int64(len(tr.Entries)))
+		cEncodedBytes.Add(cw.n)
+	}()
+	bw := bufio.NewWriter(cw)
 	fmt.Fprintf(bw, "%s %d\n", textMagic, textVersion)
 
 	fmt.Fprintf(bw, "tasks %d\n", len(tr.Tasks))

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// minimalText is a well-formed text trace small enough to reason
+// about line numbers exactly:
+//
+//	1  CAFA-TEXT 1
+//	2  tasks 1
+//	3  task 1 kind=0 looper=0 queue=0 proc=0 "T"
+//	4  fields 0
+//	5  methods 0
+//	6  queues 0
+//	7  entries 2
+//	8  begin task=1
+//	9  end task=1
+const minimalText = "CAFA-TEXT 1\n" +
+	"tasks 1\n" +
+	"task 1 kind=0 looper=0 queue=0 proc=0 \"T\"\n" +
+	"fields 0\n" +
+	"methods 0\n" +
+	"queues 0\n" +
+	"entries 2\n" +
+	"begin task=1\n" +
+	"end task=1\n"
+
+func TestMinimalTextDecodes(t *testing.T) {
+	tr, err := DecodeText(strings.NewReader(minimalText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Entries) != 2 || len(tr.Tasks) != 1 {
+		t.Fatalf("unexpected shape: %d entries, %d tasks", len(tr.Entries), len(tr.Tasks))
+	}
+}
+
+// TestTextErrorsCarryLineNumbers locks the position reporting: every
+// decode failure inside the body must name the line it happened on,
+// so a corrupted multi-megabyte trace points at the damage instead of
+// just failing.
+func TestTextErrorsCarryLineNumbers(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  []string // substrings the error must contain
+	}{
+		{
+			// entries says 2 but the file ends after one — EOF while
+			// reading the entry section; the last good line is 8.
+			name:  "truncated file",
+			input: strings.TrimSuffix(minimalText, "end task=1\n"),
+			want:  []string{"line 8", "entries", "EOF"},
+		},
+		{
+			// A line that stops mid-record: "begin" alone has no
+			// operands at all.
+			name:  "truncated entry line",
+			input: strings.Replace(minimalText, "begin task=1", "begin", 1),
+			want:  []string{"line 8", "malformed entry"},
+		},
+		{
+			name:  "bad record tag",
+			input: strings.Replace(minimalText, "end task=1", "bogus task=1", 1),
+			want:  []string{"line 9", `unknown op "bogus"`},
+		},
+		{
+			name:  "bad operand value",
+			input: strings.Replace(minimalText, "end task=1", "end task=banana", 1),
+			want:  []string{"line 9", `bad task "banana"`},
+		},
+		{
+			name:  "task table truncated",
+			input: "CAFA-TEXT 1\ntasks 2\ntask 1 kind=0 looper=0 queue=0 proc=0 \"T\"\n",
+			want:  []string{"line 3", "task table"},
+		},
+		{
+			name:  "table id not a number",
+			input: strings.Replace(minimalText, "methods 0", "methods 1\nx \"m\"", 1),
+			want:  []string{"line 6", "methods table", `bad id "x"`},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeText(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			for _, sub := range tc.want {
+				if !strings.Contains(err.Error(), sub) {
+					t.Errorf("error %q missing %q", err, sub)
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeAutoMixedFormats checks the sniffing boundary: a file
+// claiming one format with the other format's body fails inside the
+// claimed codec with that codec's diagnostics — the sniffer never
+// silently falls back.
+func TestDecodeAutoMixedFormats(t *testing.T) {
+	// Text header, binary body: routed to the text decoder, which
+	// reports the offending line.
+	tr := fuzzSeedTrace()
+	var bin bytes.Buffer
+	if err := tr.Encode(&bin); err != nil {
+		t.Fatal(err)
+	}
+	mixed := append([]byte("CAFA-TEXT 1\n"), bin.Bytes()...)
+	_, err := DecodeAuto(bytes.NewReader(mixed))
+	if err == nil {
+		t.Fatal("text header with binary body: want error")
+	}
+	if !strings.Contains(err.Error(), "decode text") || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("want a text-decoder error naming line 2, got %q", err)
+	}
+
+	// Binary magic, text junk: routed to the binary decoder. "CAFA"
+	// followed by text is a bad varint/section, never a text parse.
+	_, err = DecodeAuto(strings.NewReader("CAFA\ntasks 1\nbegin task=1\n"))
+	if err == nil {
+		t.Fatal("binary magic with text body: want error")
+	}
+	if strings.Contains(err.Error(), "decode text") {
+		t.Errorf("binary-magic input must not reach the text decoder: %q", err)
+	}
+
+	// A header that is neither magic goes to the binary decoder and
+	// fails on magic, naming what was found.
+	_, err = DecodeAuto(strings.NewReader("CAFE-TEXT 1\n"))
+	if err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Errorf("near-miss magic: want bad-magic error, got %v", err)
+	}
+}
