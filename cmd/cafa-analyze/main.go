@@ -10,6 +10,8 @@
 //	             [-stats] [-explain] [-context]
 //	             [-no-ifguard] [-no-intra-alloc] [-no-lockset]
 //	             [-progress] [-metrics] [-trace-out file] [-debug-addr addr]
+//	             [-evidence-out file] [-dot-out file] [-html-out file]
+//	             [-diff baseline.json]
 //	             trace-file|trace-dir ...
 //
 // The observability flags enable the internal/obs layer: -progress
@@ -18,8 +20,19 @@
 // (load it in Perfetto or chrome://tracing), and -debug-addr serves
 // /metrics plus net/http/pprof for the duration of the run.
 //
+// The provenance flags attach an evidence collector to the detector
+// (internal/provenance): -evidence-out writes the JSON evidence
+// bundle (per-race causality verdicts and per-filtered-candidate
+// prune witnesses), -dot-out writes per-race Graphviz causality
+// subgraphs, -html-out writes the self-contained HTML triage report,
+// and -diff compares the run's races against a baseline evidence
+// bundle by code site, printing new/fixed/persisting counts. With
+// -debug-addr, the triage report is also served live at /triage
+// while the batch is still running.
+//
 // Exit codes: 1 for malformed inputs (decode/validation failures), 2
-// for I/O failures (missing or unreadable inputs).
+// for I/O failures (missing or unreadable inputs), 3 when -diff
+// finds races not present in the baseline (report regression).
 //
 // The legacy single-input form `cafa-analyze -i app.trace` still
 // works.
@@ -39,6 +52,7 @@ import (
 	"cafa/internal/analysis"
 	"cafa/internal/detect"
 	"cafa/internal/obs"
+	"cafa/internal/provenance"
 	"cafa/internal/trace"
 )
 
@@ -76,9 +90,22 @@ type inputError struct {
 func (e *inputError) Error() string { return fmt.Sprintf("%s: %s: %v", e.path, e.class, e.err) }
 func (e *inputError) Unwrap() error { return e.err }
 
-// exitCode maps an error to the process exit code: 2 for I/O
-// failures, 1 for everything else (decode errors, usage errors).
+// regressionError reports that -diff found races absent from the
+// baseline bundle.
+type regressionError struct{ n int }
+
+func (e *regressionError) Error() string {
+	return fmt.Sprintf("report regression: %d race site(s) not in the baseline", e.n)
+}
+
+// exitCode maps an error to the process exit code: 3 for a -diff
+// report regression, 2 for I/O failures, 1 for everything else
+// (decode errors, usage errors).
 func exitCode(err error) int {
+	var re *regressionError
+	if errors.As(err, &re) {
+		return 3
+	}
 	var ie *inputError
 	if errors.As(err, &ie) && ie.class == classIO {
 		return 2
@@ -103,11 +130,27 @@ type config struct {
 	metrics   bool
 	traceOut  string
 	debugAddr string
+
+	evidenceOut string
+	dotOut      string
+	htmlOut     string
+	diff        string
+	// live is the /triage handler, wired by run when both the debug
+	// listener and evidence collection are active.
+	live *provenance.LiveTriage
 }
 
 // wantObs reports whether any flag needs the obs layer enabled.
 func (c *config) wantObs() bool {
 	return c.progress || c.metrics || c.traceOut != "" || c.debugAddr != ""
+}
+
+// wantEvidence reports whether any flag needs the provenance
+// collector attached. The debug listener always serves /triage, so
+// it implies evidence too.
+func (c *config) wantEvidence() bool {
+	return c.evidenceOut != "" || c.dotOut != "" || c.htmlOut != "" ||
+		c.diff != "" || c.debugAddr != ""
 }
 
 func parseArgs(args []string) (*config, error) {
@@ -127,7 +170,12 @@ func parseArgs(args []string) (*config, error) {
 		progress  = fs.Bool("progress", false, "stream per-trace progress lines to stderr in batch mode")
 		metrics   = fs.Bool("metrics", false, "append the obs metric summary table to the report")
 		traceOut  = fs.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file")
-		debugAddr = fs.String("debug-addr", "", "serve /metrics and /debug/pprof on this address during the run")
+		debugAddr = fs.String("debug-addr", "", "serve /metrics, /debug/pprof and /triage on this address during the run")
+
+		evidenceOut = fs.String("evidence-out", "", "write the JSON race-evidence bundle to this file")
+		dotOut      = fs.String("dot-out", "", "write per-race Graphviz causality subgraphs to this file")
+		htmlOut     = fs.String("html-out", "", "write the HTML triage report to this file")
+		diff        = fs.String("diff", "", "compare race sites against this baseline evidence bundle (exit 3 on new races)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -151,6 +199,7 @@ func parseArgs(args []string) (*config, error) {
 		noGuard: *noGuard, noAlloc: *noAlloc, noLocks: *noLocks,
 		stats: *stats, explain: *explain, context: *context, asJSON: *asJSON,
 		progress: *progress, metrics: *metrics, traceOut: *traceOut, debugAddr: *debugAddr,
+		evidenceOut: *evidenceOut, dotOut: *dotOut, htmlOut: *htmlOut, diff: *diff,
 	}, nil
 }
 
@@ -200,12 +249,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}()
 	}
 	if cfg.debugAddr != "" {
-		ds, err := obs.ServeDebug(cfg.debugAddr)
+		cfg.live = provenance.NewLiveTriage()
+		ds, err := obs.ServeDebug(cfg.debugAddr, obs.Route{Pattern: "/triage", Handler: cfg.live})
 		if err != nil {
 			return fmt.Errorf("debug listener: %w", err)
 		}
 		defer ds.Close()
-		fmt.Fprintf(stderr, "cafa-analyze: debug listener on http://%s (/metrics, /debug/pprof/)\n", ds.Addr())
+		fmt.Fprintf(stderr, "cafa-analyze: debug listener on http://%s (/metrics, /debug/pprof/, /triage)\n", ds.Addr())
 	}
 	if cfg.progress {
 		cancel := obs.Subscribe(newProgress(stderr, len(cfg.inputs)).span)
@@ -227,10 +277,83 @@ func run(args []string, stdout, stderr io.Writer) error {
 	} else if err := emitText(stdout, cfg, reports); err != nil {
 		return err
 	}
-	if cfg.metrics {
-		return obs.WriteSummary(stdout)
+	var diffErr error
+	if cfg.wantEvidence() {
+		bundle := buildBundle(reports)
+		if err := writeEvidenceOutputs(cfg, bundle); err != nil {
+			return err
+		}
+		if cfg.diff != "" {
+			d, err := diffBaseline(cfg.diff, bundle)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(stdout, d.Format())
+			if d.HasNew() {
+				diffErr = &regressionError{n: len(d.New)}
+			}
+		}
 	}
-	return nil
+	if cfg.metrics {
+		if err := obs.WriteSummary(stdout); err != nil {
+			return err
+		}
+	}
+	return diffErr
+}
+
+// buildBundle assembles the run's evidence bundle in input order.
+func buildBundle(reports []*fileReport) *provenance.Bundle {
+	b := &provenance.Bundle{Version: provenance.BundleVersion}
+	for _, rep := range reports {
+		in := rep.Result.Evidence.Bundle(rep.File)
+		in.Stats = rep.Result.Stats
+		b.Inputs = append(b.Inputs, in)
+		addStats(&b.Stats, rep.Result.Stats)
+	}
+	return b
+}
+
+// writeEvidenceOutputs renders the bundle to every requested sink.
+func writeEvidenceOutputs(cfg *config, b *provenance.Bundle) error {
+	emit := func(path, what string, render func(io.Writer, *provenance.Bundle) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", what, err)
+		}
+		if err := render(f, b); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", what, err)
+		}
+		return f.Close()
+	}
+	if err := emit(cfg.evidenceOut, "evidence-out", func(w io.Writer, b *provenance.Bundle) error {
+		return b.WriteJSON(w)
+	}); err != nil {
+		return err
+	}
+	if err := emit(cfg.dotOut, "dot-out", provenance.WriteDOT); err != nil {
+		return err
+	}
+	return emit(cfg.htmlOut, "html-out", provenance.WriteHTML)
+}
+
+// diffBaseline loads the baseline bundle and diffs the run against
+// it by race site.
+func diffBaseline(path string, cur *provenance.Bundle) (*provenance.DiffResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, &inputError{path: path, class: classIO, err: err}
+	}
+	defer f.Close()
+	base, err := provenance.ReadBundle(f)
+	if err != nil {
+		return nil, &inputError{path: path, class: classDecode, err: err}
+	}
+	return provenance.Diff(base, cur, path), nil
 }
 
 // writeTraceEvents dumps the recorded span stream as Chrome
@@ -259,8 +382,9 @@ func analyzeFiles(cfg *config) ([]*fileReport, error) {
 			DisableLockset:         cfg.noLocks,
 			KeepDuplicates:         cfg.keepDups,
 		},
-		Naive:   cfg.naive,
-		Workers: cfg.workers,
+		Naive:    cfg.naive,
+		Evidence: cfg.wantEvidence(),
+		Workers:  cfg.workers,
 	})
 	reports := make([]*fileReport, len(cfg.inputs))
 	errs := make([]error, len(cfg.inputs))
@@ -283,6 +407,11 @@ func analyzeFiles(cfg *config) ([]*fileReport, error) {
 			return
 		}
 		reports[i] = &fileReport{File: path, Trace: tr, Result: res}
+		if cfg.live != nil && res.Evidence != nil {
+			in := res.Evidence.Bundle(path)
+			in.Stats = res.Stats
+			cfg.live.Add(in, res.Stats)
+		}
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -325,16 +454,8 @@ func emitText(w io.Writer, cfg *config, reports []*fileReport) error {
 				fmt.Fprintf(w, "    free context: %s\n", detect.FormatStack(tr, detect.CallStack(tr, r.Free.Idx)))
 			}
 			if cfg.explain {
-				conv := res.Conventional
-				if path := conv.Explain(r.Use.ReadIdx, r.Free.Idx); path != nil {
-					fmt.Fprintln(w, "    conventional model would order use ≺ free via:")
-					fmt.Fprintln(w, indent(conv.FormatPath(path), "    "))
-				} else if path := conv.Explain(r.Free.Idx, r.Use.ReadIdx); path != nil {
-					fmt.Fprintln(w, "    conventional model would order free ≺ use via:")
-					fmt.Fprintln(w, indent(conv.FormatPath(path), "    "))
-				} else {
-					fmt.Fprintln(w, "    unordered in both models")
-				}
+				v := provenance.ExplainConv(res.Conventional, r.Use.ReadIdx, r.Free.Idx)
+				fmt.Fprintln(w, v.Format(res.Conventional, "    "))
 			}
 			switch r.Class {
 			case detect.ClassIntraThread:
@@ -350,8 +471,8 @@ func emitText(w io.Writer, cfg *config, reports []*fileReport) error {
 			st := res.Stats
 			fmt.Fprintf(w, "pipeline: uses=%d frees=%d allocs=%d candidates=%d\n",
 				st.Uses, st.Frees, st.Allocs, st.Candidates)
-			fmt.Fprintf(w, "filtered: ordered=%d lockset=%d if-guard=%d intra-alloc=%d duplicates=%d\n",
-				st.FilteredOrdered, st.FilteredLockset, st.FilteredIfGuard, st.FilteredIntraAlloc, st.Duplicates)
+			fmt.Fprintf(w, "filtered: ordered=%d lockset=%d if-guard=%d intra-alloc=%d static-guard=%d duplicates=%d\n",
+				st.FilteredOrdered, st.FilteredLockset, st.FilteredIfGuard, st.FilteredIntraAlloc, st.FilteredStaticGuard, st.Duplicates)
 			gs := res.GraphStats
 			fmt.Fprintf(w, "graph: nodes=%d base-edges=%d rule-edges=%d fixpoint-rounds=%d\n",
 				gs.Nodes, gs.BaseEdges, gs.RuleEdges, gs.Rounds)
@@ -374,8 +495,8 @@ func emitText(w io.Writer, cfg *config, reports []*fileReport) error {
 			st := agg.stats
 			fmt.Fprintf(w, "pipeline: uses=%d frees=%d allocs=%d candidates=%d\n",
 				st.Uses, st.Frees, st.Allocs, st.Candidates)
-			fmt.Fprintf(w, "filtered: ordered=%d lockset=%d if-guard=%d intra-alloc=%d duplicates=%d\n",
-				st.FilteredOrdered, st.FilteredLockset, st.FilteredIfGuard, st.FilteredIntraAlloc, st.Duplicates)
+			fmt.Fprintf(w, "filtered: ordered=%d lockset=%d if-guard=%d intra-alloc=%d static-guard=%d duplicates=%d\n",
+				st.FilteredOrdered, st.FilteredLockset, st.FilteredIfGuard, st.FilteredIntraAlloc, st.FilteredStaticGuard, st.Duplicates)
 		}
 		if cfg.naive {
 			fmt.Fprintf(w, "low-level conflicting-access races (naive baseline): %d\n", agg.naive)

@@ -23,6 +23,7 @@ import (
 	"cafa/internal/hb"
 	"cafa/internal/lockset"
 	"cafa/internal/obs"
+	"cafa/internal/provenance"
 	"cafa/internal/static"
 	"cafa/internal/trace"
 )
@@ -62,6 +63,13 @@ type Options struct {
 	// static if-guard pass proves covered by a null test. Requires
 	// Program.
 	StaticGuardPrune bool
+	// Evidence attaches a provenance.Collector to each Detect call:
+	// Result.Evidence then carries per-race evidence records and
+	// per-filtered-candidate prune witnesses. Detection results are
+	// identical either way; the switch only buys the bookkeeping.
+	Evidence bool
+	// EvidenceOptions configures the collector when Evidence is set.
+	EvidenceOptions provenance.Options
 	// Workers bounds batch-mode concurrency (AnalyzeAll). 0 means
 	// GOMAXPROCS. Per-trace pass concurrency is fixed at the three
 	// independent passes and is not affected.
@@ -98,6 +106,9 @@ type Result struct {
 	// pipeline computed one (Options.Program with Interproc or
 	// StaticGuardPrune). Shared across traces of one Pipeline.
 	Static *static.Result
+	// Evidence is the provenance collector attached to the detector
+	// run, populated when Options.Evidence is set (nil otherwise).
+	Evidence *provenance.Collector
 }
 
 // Pipeline is a reusable analyzer. The zero value is ready to use;
@@ -205,6 +216,11 @@ func (p *Pipeline) AnalyzeSpanned(tr *trace.Trace, sp *obs.Span) (*Result, error
 			in.StaticGuards = st.Guards
 		}
 	}
+	var col *provenance.Collector
+	if p.opts.Evidence {
+		col = provenance.NewCollector(tr, g, conv, ls, p.opts.EvidenceOptions)
+		in.Collector = col
+	}
 	spDet := sp.Child("detect")
 	res, err := detect.Detect(in, p.opts.Detect)
 	spDet.End()
@@ -222,6 +238,7 @@ func (p *Pipeline) AnalyzeSpanned(tr *trace.Trace, sp *obs.Span) (*Result, error
 		Conventional: conv,
 		Locks:        ls,
 		Static:       st,
+		Evidence:     col,
 	}
 	if p.opts.Naive {
 		spN := sp.Child("detect.naive")

@@ -312,13 +312,18 @@ func makeScenarios(spec Spec) ([]scenario, error) {
 	for i := 0; i < lockedPerApp; i++ {
 		out = append(out, lockedBenign(fmt.Sprintf("lk%d", i)))
 	}
+	for i := 0; i < orderedPerApp; i++ {
+		out = append(out, orderedBenign(fmt.Sprintf("ord%d", i)))
+	}
 	return out, nil
 }
 
-// guardedPerApp and lockedPerApp are the benign-but-racy-looking
-// scenarios planted per application; the heuristics and the lockset
-// check must prune all of them.
+// guardedPerApp, lockedPerApp, and orderedPerApp are the
+// benign-but-racy-looking scenarios planted per application; the
+// heuristics, the lockset check, and the causality model itself must
+// prune all of them.
 const (
 	guardedPerApp = 3
 	lockedPerApp  = 2
+	orderedPerApp = 1
 )

@@ -61,7 +61,7 @@ func TestBuildAndRunEveryApp(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			wantScenarios := spec.Paper.Reported + guardedPerApp + lockedPerApp
+			wantScenarios := spec.Paper.Reported + guardedPerApp + lockedPerApp + orderedPerApp
 			if len(b.Truth) != wantScenarios {
 				t.Errorf("planted %d scenarios, want %d", len(b.Truth), wantScenarios)
 			}
@@ -71,8 +71,8 @@ func TestBuildAndRunEveryApp(t *testing.T) {
 					filtered++
 				}
 			}
-			if filtered != guardedPerApp+lockedPerApp {
-				t.Errorf("benign scenarios = %d, want %d", filtered, guardedPerApp+lockedPerApp)
+			if filtered != guardedPerApp+lockedPerApp+orderedPerApp {
+				t.Errorf("benign scenarios = %d, want %d", filtered, guardedPerApp+lockedPerApp+orderedPerApp)
 			}
 			if err := b.Sys.Run(); err != nil {
 				t.Fatal(err)

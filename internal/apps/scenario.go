@@ -139,6 +139,7 @@ swallow:
     const-method v2, use_%[1]s
     const-int v3, #0
     send v1, v2, v3, h
+    send v1, v2, v3, h
     return-void
 .end
 
@@ -150,16 +151,31 @@ swallow:
     const-int v3, #0
     send v1, v2, v3, h
     return-void
+.end
+
+.method boot_%[1]s(h) regs=5
+    const-method v1, sendUse_%[1]s
+    fork v1, h -> v2
+    const-method v3, sendFree_%[1]s
+    fork v3, h -> v4
+    return-void
 .end`, id)
+	// The use event is posted twice: a real interaction session
+	// re-triggers the same handler, so each racy code site shows up as
+	// several dynamic instances. Both instances precede the (delayed)
+	// free in queue order, so recording stays crash-free; the detector
+	// reports the site once and counts the second pair as a duplicate.
+	//
+	// One bootstrap thread forks both senders (the lifecycle component
+	// that installs its workers), so use and free share a nearest
+	// common causal ancestor — the first fork — while the senders stay
+	// mutually concurrent.
 	return scenario{
 		src:     src,
-		planted: Planted{Field: ptr, Label: LabelTrueA, UseMethod: use, Events: 2},
+		planted: Planted{Field: ptr, Label: LabelTrueA, UseMethod: use, Events: 3},
 		wire: func(s *sim.System, p *dvm.Program) error {
 			h := newHolder(s, p, "Activity", ptr)
-			if err := startThread(s, "su_"+id, "sendUse_"+id, dvm.Obj(h.ID)); err != nil {
-				return err
-			}
-			return startThread(s, "sf_"+id, "sendFree_"+id, dvm.Obj(h.ID))
+			return startThread(s, "boot_"+id, "boot_"+id, dvm.Obj(h.ID))
 		},
 	}
 }
@@ -256,16 +272,24 @@ func trueFork(id string) scenario {
     const-int v3, #0
     send v1, v2, v3, h
     return-void
+.end
+
+.method boot_%[1]s(h) regs=5
+    const-method v1, sendUse_%[1]s
+    fork v1, h -> v2
+    const-method v3, sendSpawn_%[1]s
+    fork v3, h -> v4
+    return-void
 .end`, id)
+	// As in truePlain, one bootstrap thread forks both senders so the
+	// racy pair hangs from a nearest common causal ancestor (the first
+	// fork) instead of two disconnected harness roots.
 	return scenario{
 		src:     src,
 		planted: Planted{Field: ptr, Label: LabelTrueB, UseMethod: use, Events: 2},
 		wire: func(s *sim.System, p *dvm.Program) error {
 			h := newHolder(s, p, "Activity", ptr)
-			if err := startThread(s, "su_"+id, "sendUse_"+id, dvm.Obj(h.ID)); err != nil {
-				return err
-			}
-			return startThread(s, "ss_"+id, "sendSpawn_"+id, dvm.Obj(h.ID))
+			return startThread(s, "boot_"+id, "boot_"+id, dvm.Obj(h.ID))
 		},
 	}
 }
@@ -573,6 +597,52 @@ lskip:
 				return err
 			}
 			return startThread(s, "lf_"+id, "lockedFree_"+id, dvm.Obj(h.ID))
+		},
+	}
+}
+
+// orderedBenign plants a use event that itself posts the free event to
+// the same looper: the send edge orders use ≺ free in the event-driven
+// model, so the candidate pair dies at the detector's ordered stage —
+// the teardown-after-use idiom every app has, and the prune whose
+// provenance witness is a happens-before path. The use also sits
+// behind a null test so the static pass classifies the pair guarded
+// and the cafa-lint cross-check does not count it as a coverage gap.
+func orderedBenign(id string) scenario {
+	ptr := "ptr_" + id
+	use := "ordUse_" + id
+	src := fmt.Sprintf(`
+.method ordUse_%[1]s(h) regs=6
+    iget v1, h, ptr_%[1]s
+    if-eqz v1, oskip
+    invoke-virtual run, v1
+oskip:
+    sget-int v2, mainQ
+    const-method v3, ordFree_%[1]s
+    const-int v4, #0
+    send v2, v3, v4, h
+    return-void
+.end
+
+.method ordFree_%[1]s(h) regs=2
+    const-null v1
+    iput v1, h, ptr_%[1]s
+    return-void
+.end
+
+.method sendOrd_%[1]s(h) regs=5
+    sget-int v1, mainQ
+    const-method v2, ordUse_%[1]s
+    const-int v3, #0
+    send v1, v2, v3, h
+    return-void
+.end`, id)
+	return scenario{
+		src:     src,
+		planted: Planted{Field: ptr, Label: LabelFiltered, UseMethod: use, Events: 2},
+		wire: func(s *sim.System, p *dvm.Program) error {
+			h := newHolder(s, p, "Activity", ptr)
+			return startThread(s, "so_"+id, "sendOrd_"+id, dvm.Obj(h.ID))
 		},
 	}
 }

@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"fmt"
 	"strings"
 
 	"cafa/internal/trace"
@@ -42,16 +43,32 @@ func CallStack(tr *trace.Trace, idx int) []trace.MethodID {
 	return stack
 }
 
-// FormatStack renders a call stack as "outer > inner".
+// MaxStackFrames caps FormatStack's rendering: stacks deeper than
+// this elide their outermost frames, so one pathological (or
+// recursive) calling context cannot flood a report line.
+const MaxStackFrames = 12
+
+// FormatStack renders a call stack as "outer > inner". Stacks deeper
+// than MaxStackFrames keep the innermost frames and summarize the
+// elided outer ones as "(+N outer)".
 func FormatStack(tr *trace.Trace, stack []trace.MethodID) string {
 	if len(stack) == 0 {
 		return "(no context)"
+	}
+	elided := 0
+	if len(stack) > MaxStackFrames {
+		elided = len(stack) - MaxStackFrames
+		stack = stack[elided:]
 	}
 	parts := make([]string, len(stack))
 	for i, m := range stack {
 		parts[i] = tr.MethodName(m)
 	}
-	return strings.Join(parts, " > ")
+	joined := strings.Join(parts, " > ")
+	if elided > 0 {
+		return fmt.Sprintf("(+%d outer) > %s", elided, joined)
+	}
+	return joined
 }
 
 // DescribeWithContext renders a race with the calling contexts of

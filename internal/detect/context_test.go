@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -78,4 +79,82 @@ func TestDescribeWithContext(t *testing.T) {
 	if !strings.Contains(out, "onServiceConnected") {
 		t.Errorf("use context missing handler name: %q", out)
 	}
+}
+
+// TestCallStackEdgeCases covers the reconstruction corners: an entry
+// with no enclosing call, a trace truncated mid-call (an invoke whose
+// return was never logged), and a stack deeper than the render cap.
+func TestCallStackEdgeCases(t *testing.T) {
+	t.Run("no enclosing call", func(t *testing.T) {
+		tr := trace.New()
+		tr.Methods[7] = "handler"
+		tr.Append(trace.Entry{Task: 1, Op: trace.OpBegin})
+		idx := tr.Append(trace.Entry{Task: 1, Op: trace.OpWrite, Var: 1, Method: 7})
+		stack := CallStack(tr, idx)
+		if len(stack) != 1 || stack[0] != 7 {
+			t.Fatalf("stack = %v, want just the entry's own method", stack)
+		}
+		if got := FormatStack(tr, stack); got != "handler" {
+			t.Errorf("FormatStack = %q, want %q", got, "handler")
+		}
+	})
+
+	t.Run("no method at all", func(t *testing.T) {
+		tr := trace.New()
+		tr.Append(trace.Entry{Task: 1, Op: trace.OpBegin})
+		idx := tr.Append(trace.Entry{Task: 1, Op: trace.OpWrite, Var: 1})
+		if got := FormatStack(tr, CallStack(tr, idx)); got != "(no context)" {
+			t.Errorf("FormatStack = %q, want placeholder", got)
+		}
+	})
+
+	t.Run("truncated mid-call", func(t *testing.T) {
+		// The trace ends inside `inner`: invokes logged, returns never
+		// reached. The open frames must all be reported.
+		tr := trace.New()
+		tr.Methods[1], tr.Methods[2], tr.Methods[3] = "outer", "mid", "inner"
+		tr.Append(trace.Entry{Task: 1, Op: trace.OpBegin})
+		tr.Append(trace.Entry{Task: 1, Op: trace.OpInvoke, Method: 1})
+		tr.Append(trace.Entry{Task: 1, Op: trace.OpInvoke, Method: 2})
+		tr.Append(trace.Entry{Task: 1, Op: trace.OpInvoke, Method: 3})
+		idx := tr.Append(trace.Entry{Task: 1, Op: trace.OpWrite, Var: 1, Method: 3})
+		got := FormatStack(tr, CallStack(tr, idx))
+		if got != "outer > mid > inner" {
+			t.Errorf("FormatStack = %q, want %q", got, "outer > mid > inner")
+		}
+		// Unbalanced return on an empty stack must not panic.
+		tr2 := trace.New()
+		tr2.Methods[4] = "late"
+		tr2.Append(trace.Entry{Task: 1, Op: trace.OpReturn})
+		idx2 := tr2.Append(trace.Entry{Task: 1, Op: trace.OpWrite, Var: 1, Method: 4})
+		if got := FormatStack(tr2, CallStack(tr2, idx2)); got != "late" {
+			t.Errorf("FormatStack after stray return = %q, want %q", got, "late")
+		}
+	})
+
+	t.Run("deeper than render cap", func(t *testing.T) {
+		tr := trace.New()
+		depth := MaxStackFrames + 3
+		tr.Append(trace.Entry{Task: 1, Op: trace.OpBegin})
+		for d := 0; d < depth; d++ {
+			m := trace.MethodID(d + 1)
+			tr.Methods[m] = fmt.Sprintf("f%02d", d)
+			tr.Append(trace.Entry{Task: 1, Op: trace.OpInvoke, Method: m})
+		}
+		idx := tr.Append(trace.Entry{Task: 1, Op: trace.OpWrite, Var: 1, Method: trace.MethodID(depth)})
+		stack := CallStack(tr, idx)
+		if len(stack) != depth {
+			t.Fatalf("stack depth = %d, want %d", len(stack), depth)
+		}
+		got := FormatStack(tr, stack)
+		if !strings.HasPrefix(got, "(+3 outer) > ") {
+			t.Errorf("FormatStack = %q, want elision prefix for 3 outer frames", got)
+		}
+		if strings.Count(got, " > ") != MaxStackFrames {
+			t.Errorf("FormatStack = %q, want %d rendered frames", got, MaxStackFrames)
+		}
+		if !strings.HasSuffix(got, fmt.Sprintf("f%02d", depth-1)) {
+			t.Errorf("FormatStack = %q, must keep the innermost frame", got)
+		}
+	})
 }

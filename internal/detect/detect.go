@@ -109,6 +109,77 @@ func (r Race) Describe(tr *trace.Trace) string {
 		tr.TaskName(r.Free.Task), tr.MethodName(r.Free.Method), r.Free.PC)
 }
 
+// PruneStage identifies the detector pipeline stage that eliminated a
+// candidate pair.
+type PruneStage uint8
+
+// Prune stages, in the order the detector applies them.
+const (
+	PruneOrdered PruneStage = iota
+	PruneLockset
+	PruneIntraAlloc
+	PruneIfGuard
+	PruneStaticGuard
+	PruneDedup
+	numPruneStages
+)
+
+// NumPruneStages is the number of prune stages (for per-stage tallies).
+const NumPruneStages = int(numPruneStages)
+
+func (s PruneStage) String() string {
+	switch s {
+	case PruneOrdered:
+		return "ordered"
+	case PruneLockset:
+		return "lockset"
+	case PruneIntraAlloc:
+		return "intra-alloc"
+	case PruneIfGuard:
+		return "if-guard"
+	case PruneStaticGuard:
+		return "static-guard"
+	case PruneDedup:
+		return "dedup"
+	default:
+		return fmt.Sprintf("PruneStage(%d)", uint8(s))
+	}
+}
+
+// PruneWitness carries the stage-specific fact that justified a prune,
+// resolved at the moment the detector decided. Only the fields of the
+// witnessing stage are meaningful.
+type PruneWitness struct {
+	Stage PruneStage
+	// UseBeforeFree is the happens-before direction (PruneOrdered).
+	UseBeforeFree bool
+	// CommonLocks is the lockset intersection (PruneLockset).
+	CommonLocks []trace.LockID
+	// AllocIdx is the trace index of the intra-event allocation that
+	// re-establishes the pointer (PruneIntraAlloc).
+	AllocIdx int
+	// GuardIdx is the trace index of the matched branch and
+	// [GuardLo, GuardHi) its safe region (PruneIfGuard).
+	GuardIdx         int
+	GuardLo, GuardHi trace.PC
+	// Class is the classification the duplicate pair had already
+	// received (PruneDedup); the kept instance shares its SiteKey.
+	Class Class
+}
+
+// Collector observes detector decisions for provenance. Detect calls
+// it synchronously from the candidate loop, so implementations must be
+// cheap; a nil collector keeps the hot loop counter-only. Collectors
+// never influence detection — results are identical with or without
+// one.
+type Collector interface {
+	// Pruned is called once per filtered candidate pair.
+	Pruned(u Use, f Free, w PruneWitness)
+	// Reported is called once per reported race, in detection order
+	// (the result slice is later sorted by SiteKey).
+	Reported(r Race)
+}
+
 // Options toggles the detector's pruning stages — the ablation knobs
 // of the evaluation.
 type Options struct {
@@ -166,6 +237,10 @@ type Input struct {
 	// (e.g. when an aliased read evicts the tested pointer's last
 	// read). Plain data keeps detect independent of internal/static.
 	StaticGuards map[dataflow.Key]bool
+	// Collector, when non-nil, receives per-decision provenance
+	// callbacks (internal/provenance implements it). Nil keeps the
+	// candidate loop counter-only.
+	Collector Collector
 }
 
 // Detect runs the use-free race detector (§4.2, §4.3).
@@ -185,6 +260,7 @@ func Detect(in Input, opts Options) (*Result, error) {
 		freesByVar[f.Var] = append(freesByVar[f.Var], f)
 	}
 
+	col := in.Collector
 	seen := make(map[SiteKey]bool)
 	for _, u := range ex.uses {
 		for _, f := range freesByVar[u.Var] {
@@ -194,10 +270,22 @@ func Detect(in Input, opts Options) (*Result, error) {
 			res.Stats.Candidates++
 			if !in.Graph.Concurrent(u.ReadIdx, f.Idx) {
 				res.Stats.FilteredOrdered++
+				if col != nil {
+					col.Pruned(u, f, PruneWitness{
+						Stage:         PruneOrdered,
+						UseBeforeFree: in.Graph.Ordered(u.ReadIdx, f.Idx),
+					})
+				}
 				continue
 			}
 			if !opts.DisableLockset && in.Locks != nil && in.Locks.Intersects(u.ReadIdx, f.Idx) {
 				res.Stats.FilteredLockset++
+				if col != nil {
+					col.Pruned(u, f, PruneWitness{
+						Stage:       PruneLockset,
+						CommonLocks: in.Locks.Common(u.ReadIdx, f.Idx),
+					})
+				}
 				continue
 			}
 			// The commutativity heuristics only apply when both events
@@ -206,18 +294,40 @@ func Detect(in Input, opts Options) (*Result, error) {
 			sameLooper := tr.IsEventTask(u.Task) && tr.IsEventTask(f.Task) &&
 				tr.LooperOf(u.Task) == tr.LooperOf(f.Task)
 			if sameLooper {
-				if !opts.DisableIntraEventAlloc &&
-					(ex.hasAllocAfter(f.Task, f.Var, f.Idx) || ex.hasAllocBefore(u.Task, u.Var, u.ReadIdx)) {
-					res.Stats.FilteredIntraAlloc++
-					continue
+				if !opts.DisableIntraEventAlloc {
+					// The free side's witness (an alloc after the free)
+					// takes precedence, matching the historical
+					// short-circuit evaluation order.
+					ai := ex.allocAfterIdx(f.Task, f.Var, f.Idx)
+					if ai < 0 {
+						ai = ex.allocBeforeIdx(u.Task, u.Var, u.ReadIdx)
+					}
+					if ai >= 0 {
+						res.Stats.FilteredIntraAlloc++
+						if col != nil {
+							col.Pruned(u, f, PruneWitness{Stage: PruneIntraAlloc, AllocIdx: ai})
+						}
+						continue
+					}
 				}
-				if !opts.DisableIfGuard && ex.guarded(u) {
-					res.Stats.FilteredIfGuard++
-					continue
+				if !opts.DisableIfGuard {
+					if g, ok := ex.guardWitness(u); ok {
+						res.Stats.FilteredIfGuard++
+						if col != nil {
+							lo, hi := GuardRegion(g.kind, g.pc, g.target)
+							col.Pruned(u, f, PruneWitness{
+								Stage: PruneIfGuard, GuardIdx: g.idx, GuardLo: lo, GuardHi: hi,
+							})
+						}
+						continue
+					}
 				}
 				if !opts.DisableIfGuard && in.StaticGuards != nil &&
 					in.StaticGuards[dataflow.Key{Method: u.Method, PC: u.DerefPC}] {
 					res.Stats.FilteredStaticGuard++
+					if col != nil {
+						col.Pruned(u, f, PruneWitness{Stage: PruneStaticGuard})
+					}
 					continue
 				}
 			}
@@ -233,11 +343,17 @@ func Detect(in Input, opts Options) (*Result, error) {
 				k := r.Key()
 				if seen[k] {
 					res.Stats.Duplicates++
+					if col != nil {
+						col.Pruned(u, f, PruneWitness{Stage: PruneDedup, Class: r.Class})
+					}
 					continue
 				}
 				seen[k] = true
 			}
 			res.Races = append(res.Races, r)
+			if col != nil {
+				col.Reported(r)
+			}
 		}
 	}
 	// Canonical report order: stable sort by SiteKey, so output never

@@ -177,11 +177,11 @@ func extract(tr *trace.Trace, sources map[dataflow.Key]dataflow.Source) *extract
 	return ex
 }
 
-// hasAllocAfter reports an allocation to vr in task after trace index
-// i (the free side of intra-event-allocation).
-func (ex *extraction) hasAllocAfter(task trace.TaskID, vr trace.VarID, i int) bool {
+// allocAfterIdx returns the first allocation to vr in task after
+// trace index i (the free side of intra-event-allocation), or -1.
+func (ex *extraction) allocAfterIdx(task trace.TaskID, vr trace.VarID, i int) int {
 	seqs := ex.allocSeqs[taskVar{task, vr}]
-	// seqs ascending; any > i?
+	// seqs ascending; first > i?
 	lo, hi := 0, len(seqs)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -191,12 +191,18 @@ func (ex *extraction) hasAllocAfter(task trace.TaskID, vr trace.VarID, i int) bo
 			hi = mid
 		}
 	}
-	return lo < len(seqs)
+	if lo < len(seqs) {
+		return seqs[lo]
+	}
+	return -1
 }
 
-// hasAllocBefore reports an allocation to vr in task before trace
-// index i (the use side of intra-event-allocation).
-func (ex *extraction) hasAllocBefore(task trace.TaskID, vr trace.VarID, i int) bool {
+// allocBeforeIdx returns the first allocation to vr in task before
+// trace index i (the use side of intra-event-allocation), or -1.
+func (ex *extraction) allocBeforeIdx(task trace.TaskID, vr trace.VarID, i int) int {
 	seqs := ex.allocSeqs[taskVar{task, vr}]
-	return len(seqs) > 0 && seqs[0] < i
+	if len(seqs) > 0 && seqs[0] < i {
+		return seqs[0]
+	}
+	return -1
 }

@@ -33,11 +33,12 @@ func GuardRegion(kind trace.BranchKind, pc, target trace.PC) (lo, hi trace.PC) {
 	}
 }
 
-// guarded reports whether a use's dereference is covered by an
-// if-guard: a logged branch in the same task and method, matched to
-// the same pointer location, executed before the dereference, whose
-// safe region contains the dereference PC (§4.3).
-func (ex *extraction) guarded(u Use) bool {
+// guardWitness finds the first if-guard covering a use's dereference:
+// a logged branch in the same task and method, matched to the same
+// pointer location, executed before the dereference, whose safe
+// region contains the dereference PC (§4.3). The returned guard is
+// the provenance witness for the prune.
+func (ex *extraction) guardWitness(u Use) (guard, bool) {
 	for _, g := range ex.guards[u.Task] {
 		if !g.ok || g.idx >= u.DerefIdx {
 			continue
@@ -47,8 +48,8 @@ func (ex *extraction) guarded(u Use) bool {
 		}
 		lo, hi := GuardRegion(g.kind, g.pc, g.target)
 		if u.DerefPC >= lo && u.DerefPC < hi {
-			return true
+			return g, true
 		}
 	}
-	return false
+	return guard{}, false
 }

@@ -3,6 +3,8 @@ package hb
 import (
 	"fmt"
 	"strings"
+
+	"cafa/internal/trace"
 )
 
 // Explain returns a happens-before derivation from entry i to entry
@@ -58,6 +60,55 @@ func (g *Graph) Explain(i, j int) []int {
 		path = append(path, j)
 	}
 	return path
+}
+
+// CommonAncestor returns the trace index of the nearest common causal
+// ancestor of entries i and j: the latest reduced node (the causal
+// skeleton — task boundaries and cross-edge endpoints) that
+// happens-before both, or -1 when none exists. It is the fork point a
+// race's causality subgraph hangs from: the derivations
+// Explain(CommonAncestor(i,j), i) and Explain(CommonAncestor(i,j), j)
+// show how the execution reached both racy operations.
+func (g *Graph) CommonAncestor(i, j int) int {
+	// Happens-before is consistent with trace order, so an ancestor of
+	// both entries must precede the earlier one. nodes are appended in
+	// trace order: binary-search to the last node before min(i,j) and
+	// scan backwards from there, visiting candidates latest-first.
+	//
+	// A candidate reduced node n is its own task's anchor, so
+	// Ordered(n.seq, i) reduces to program order within i's task or a
+	// single closure-bit test against i's backward anchor — resolved
+	// once here instead of re-deriving anchors per candidate.
+	ti := g.tr.Entries[i].Task
+	tj := g.tr.Entries[j].Task
+	vi := g.anchorBefore(ti, i)
+	vj := g.anchorBefore(tj, j)
+	before := func(n int32, t trace.TaskID, idx int, v int32) bool {
+		nd := &g.nodes[n]
+		if nd.task == t {
+			return nd.seq < idx
+		}
+		return v >= 0 && g.reachable(n, v)
+	}
+	lim := i
+	if j < lim {
+		lim = j
+	}
+	lo, hi := 0, len(g.nodes)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.nodes[mid].seq < lim {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for n := int32(lo - 1); n >= 0; n-- {
+		if before(n, ti, i, vi) && before(n, tj, j, vj) {
+			return g.nodes[n].seq
+		}
+	}
+	return -1
 }
 
 // FormatPath renders an Explain result as a readable derivation.

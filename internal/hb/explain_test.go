@@ -91,3 +91,57 @@ func TestExplainThroughDerivedEdge(t *testing.T) {
 		t.Errorf("path endpoints wrong: %v", path)
 	}
 }
+
+func TestCommonAncestorForkSiblings(t *testing.T) {
+	b := newTB()
+	b.thread(1, "main")
+	b.thread(2, "childA")
+	b.thread(3, "childB")
+	b.add(trace.Entry{Task: 1, Op: trace.OpBegin})
+	fork1 := b.add(trace.Entry{Task: 1, Op: trace.OpFork, Target: 2})
+	fork2 := b.add(trace.Entry{Task: 1, Op: trace.OpFork, Target: 3})
+	b.add(trace.Entry{Task: 2, Op: trace.OpBegin})
+	w1 := b.add(trace.Entry{Task: 2, Op: trace.OpWrite, Var: 1})
+	b.add(trace.Entry{Task: 3, Op: trace.OpBegin})
+	w2 := b.add(trace.Entry{Task: 3, Op: trace.OpWrite, Var: 1})
+	b.add(trace.Entry{Task: 2, Op: trace.OpEnd})
+	b.add(trace.Entry{Task: 3, Op: trace.OpEnd})
+	b.add(trace.Entry{Task: 1, Op: trace.OpEnd})
+	g := b.build(t, Options{})
+
+	if !g.Concurrent(w1, w2) {
+		t.Fatal("sibling writes should be concurrent")
+	}
+	ca := g.CommonAncestor(w1, w2)
+	if ca < 0 {
+		t.Fatal("fork siblings must have a common ancestor")
+	}
+	if !g.Ordered(ca, w1) || !g.Ordered(ca, w2) {
+		t.Fatalf("ancestor %d not ordered before both writes", ca)
+	}
+	// The nearest ancestor is the second fork (it precedes childB's
+	// begin and, via program order through fork1, childA's write).
+	if ca != fork2 && ca != fork1 {
+		t.Errorf("ancestor = %d, want one of the forks (%d, %d)", ca, fork1, fork2)
+	}
+	// Both derivations from the ancestor must exist.
+	if g.Explain(ca, w1) == nil || g.Explain(ca, w2) == nil {
+		t.Error("no derivation from common ancestor to a racy operation")
+	}
+}
+
+func TestCommonAncestorUnrelated(t *testing.T) {
+	b := newTB()
+	b.thread(1, "a")
+	b.thread(2, "b")
+	b.add(trace.Entry{Task: 1, Op: trace.OpBegin})
+	w1 := b.add(trace.Entry{Task: 1, Op: trace.OpWrite, Var: 1})
+	b.add(trace.Entry{Task: 2, Op: trace.OpBegin})
+	w2 := b.add(trace.Entry{Task: 2, Op: trace.OpWrite, Var: 1})
+	b.add(trace.Entry{Task: 1, Op: trace.OpEnd})
+	b.add(trace.Entry{Task: 2, Op: trace.OpEnd})
+	g := b.build(t, Options{})
+	if ca := g.CommonAncestor(w1, w2); ca != -1 {
+		t.Errorf("unrelated threads: ancestor = %d, want -1", ca)
+	}
+}

@@ -65,6 +65,27 @@ func Compute(tr *trace.Trace) (*Sets, error) {
 // mutate).
 func (s *Sets) At(i int) []trace.LockID { return s.at[i] }
 
+// Common returns the locks held at both entries i and j, sorted — the
+// witness behind a lockset prune. The result is freshly allocated.
+func (s *Sets) Common(i, j int) []trace.LockID {
+	a, b := s.at[i], s.at[j]
+	var out []trace.LockID
+	x, y := 0, 0
+	for x < len(a) && y < len(b) {
+		switch {
+		case a[x] == b[y]:
+			out = append(out, a[x])
+			x++
+			y++
+		case a[x] < b[y]:
+			x++
+		default:
+			y++
+		}
+	}
+	return out
+}
+
 // Intersects reports whether the lock sets at entries i and j share a
 // lock — the mutual-exclusion condition that suppresses a race
 // report.

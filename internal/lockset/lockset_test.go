@@ -122,3 +122,35 @@ func TestSnapshotsAreStablePerOp(t *testing.T) {
 		t.Errorf("At(5) = %v, want [2]", got)
 	}
 }
+
+func TestCommon(t *testing.T) {
+	tr := mkTrace([]trace.Entry{
+		{Task: 1, Op: trace.OpBegin},
+		{Task: 1, Op: trace.OpLock, Lock: 3},
+		{Task: 1, Op: trace.OpLock, Lock: 5},
+		{Task: 1, Op: trace.OpWrite, Var: 1}, // {3,5}
+		{Task: 1, Op: trace.OpUnlock, Lock: 5},
+		{Task: 1, Op: trace.OpUnlock, Lock: 3},
+		{Task: 1, Op: trace.OpEnd},
+		{Task: 2, Op: trace.OpBegin},
+		{Task: 2, Op: trace.OpLock, Lock: 5},
+		{Task: 2, Op: trace.OpLock, Lock: 7},
+		{Task: 2, Op: trace.OpWrite, Var: 1}, // {5,7}
+		{Task: 2, Op: trace.OpUnlock, Lock: 7},
+		{Task: 2, Op: trace.OpUnlock, Lock: 5},
+		{Task: 2, Op: trace.OpEnd},
+	})
+	s, err := Compute(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Common(3, 10); len(got) != 1 || got[0] != 5 {
+		t.Errorf("Common(3,10) = %v, want [5]", got)
+	}
+	if got := s.Common(3, 3); len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Errorf("Common(3,3) = %v, want [3 5]", got)
+	}
+	if got := s.Common(0, 3); len(got) != 0 {
+		t.Errorf("Common(0,3) = %v, want empty", got)
+	}
+}

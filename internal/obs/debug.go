@@ -8,16 +8,24 @@ import (
 
 // DebugServer is the optional -debug-addr HTTP listener: /metrics
 // serves the Prometheus text snapshot, /debug/pprof/* the standard
-// Go profiles. It lives for the duration of a batch run; Close stops
-// the listener.
+// Go profiles, and callers may mount extra routes (cafa-analyze's
+// live /triage report). It lives for the duration of a batch run;
+// Close stops the listener.
 type DebugServer struct {
 	ln  net.Listener
 	srv *http.Server
 }
 
+// Route is an extra handler mounted on the debug listener.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // ServeDebug starts the debug listener on addr (e.g. "localhost:0")
-// and serves until Close. It returns immediately.
-func ServeDebug(addr string) (*DebugServer, error) {
+// and serves until Close. Extra routes are mounted alongside the
+// built-in ones. It returns immediately.
+func ServeDebug(addr string, extra ...Route) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -32,6 +40,9 @@ func ServeDebug(addr string) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, r := range extra {
+		mux.Handle(r.Pattern, r.Handler)
+	}
 	ds := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
 	go func() { _ = ds.srv.Serve(ln) }()
 	return ds, nil

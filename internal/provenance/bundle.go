@@ -1,0 +1,267 @@
+package provenance
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cafa/internal/detect"
+	"cafa/internal/trace"
+)
+
+// BundleVersion is the evidence-bundle schema version.
+const BundleVersion = 1
+
+// PathCap bounds exported derivation paths: long fixpoint chains
+// (hundreds of queue-rule hops) are elided after this many entries
+// and flagged truncated, keeping bundles reviewable and diffable.
+const PathCap = 12
+
+// Bundle is the JSON evidence bundle: one entry per analyzed input
+// plus aggregate detector stats. Race sites are rendered as stable
+// human-readable strings, so bundles recorded from different file
+// paths (or machines) diff cleanly by site.
+type Bundle struct {
+	Version int             `json:"version"`
+	Inputs  []InputEvidence `json:"inputs"`
+	Stats   detect.Stats    `json:"stats"`
+}
+
+// InputEvidence is the evidence for one analyzed trace.
+type InputEvidence struct {
+	File          string         `json:"file"`
+	Events        int            `json:"events"`
+	Entries       int            `json:"entries"`
+	Stats         detect.Stats   `json:"stats"`
+	Races         []RaceEvidence `json:"races"`
+	Pruned        []PruneRecord  `json:"pruned"`
+	PrunedDropped int            `json:"prunedDropped,omitempty"`
+}
+
+// EntryRef names one trace entry in exported form.
+type EntryRef struct {
+	Idx   int    `json:"idx"`
+	Entry string `json:"entry"`
+	Task  string `json:"task"`
+}
+
+// RaceEvidence is the exported per-race record.
+type RaceEvidence struct {
+	Site       string `json:"site"`
+	Class      string `json:"class"`
+	Field      string `json:"field"`
+	Var        string `json:"var"`
+	UseTask    string `json:"useTask"`
+	UseMethod  string `json:"useMethod"`
+	UsePC      uint32 `json:"usePC"`
+	UseIdx     int    `json:"useIdx"`
+	FreeTask   string `json:"freeTask"`
+	FreeMethod string `json:"freeMethod"`
+	FreePC     uint32 `json:"freePC"`
+	FreeIdx    int    `json:"freeIdx"`
+	SameLooper bool   `json:"sameLooper"`
+
+	// Causality: the nearest common causal ancestor and the
+	// derivations from it to both racy operations (the DOT subgraph's
+	// skeleton). Ancestor is nil when the operations share no causal
+	// history.
+	Ancestor       *EntryRef  `json:"ancestor,omitempty"`
+	AncestorToUse  []EntryRef `json:"ancestorToUse,omitempty"`
+	AncestorToFree []EntryRef `json:"ancestorToFree,omitempty"`
+
+	// Conventional-model verdict: why the thread-based baseline hides
+	// the race (ordered) or also reports it (unordered).
+	ConvDirection string     `json:"convDirection"`
+	ConvPath      []EntryRef `json:"convPath,omitempty"`
+
+	PathsTruncated bool `json:"pathsTruncated,omitempty"`
+
+	UseLocks  []string `json:"useLocks,omitempty"`
+	FreeLocks []string `json:"freeLocks,omitempty"`
+
+	// Dedup info: dynamic instances of the site and the first/last
+	// occurrence pair.
+	Instances    int `json:"instances"`
+	FirstUseIdx  int `json:"firstUseIdx"`
+	FirstFreeIdx int `json:"firstFreeIdx"`
+	LastUseIdx   int `json:"lastUseIdx"`
+	LastFreeIdx  int `json:"lastFreeIdx"`
+}
+
+// GuardRef is the exported if-guard witness: the matched branch entry
+// and its Figure 6 safe region.
+type GuardRef struct {
+	EntryRef
+	RegionLo uint32 `json:"regionLo"`
+	RegionHi uint32 `json:"regionHi"`
+}
+
+// PruneRecord is the exported per-filtered-candidate witness.
+type PruneRecord struct {
+	Stage   string `json:"stage"`
+	Site    string `json:"site"`
+	UseIdx  int    `json:"useIdx"`
+	FreeIdx int    `json:"freeIdx"`
+
+	// Stage-specific witness (exactly one group is populated).
+	Direction   string     `json:"direction,omitempty"`   // ordered
+	Path        []EntryRef `json:"path,omitempty"`        // ordered
+	CommonLocks []string   `json:"commonLocks,omitempty"` // lockset
+	Alloc       *EntryRef  `json:"alloc,omitempty"`       // intra-alloc
+	Guard       *GuardRef  `json:"guard,omitempty"`       // if-guard
+	Class       string     `json:"class,omitempty"`       // dedup
+
+	PathTruncated bool `json:"pathTruncated,omitempty"`
+}
+
+// SiteString renders a SiteKey as the stable diff key:
+// "field: use method@pc free method@pc".
+func SiteString(tr *trace.Trace, k detect.SiteKey) string {
+	return fmt.Sprintf("%s: use %s@%d free %s@%d",
+		tr.FieldName(k.Field),
+		tr.MethodName(k.UseMethod), k.UsePC,
+		tr.MethodName(k.FreeMethod), k.FreePC)
+}
+
+// entryRef renders one trace entry.
+func entryRef(tr *trace.Trace, idx int) EntryRef {
+	e := &tr.Entries[idx]
+	return EntryRef{Idx: idx, Entry: e.String(), Task: tr.TaskName(e.Task)}
+}
+
+// refPath renders a derivation, capped at PathCap entries; the second
+// result reports whether the path was truncated.
+func refPath(tr *trace.Trace, path []int) ([]EntryRef, bool) {
+	if path == nil {
+		return nil, false
+	}
+	truncated := false
+	if len(path) > PathCap {
+		path = path[:PathCap]
+		truncated = true
+	}
+	out := make([]EntryRef, len(path))
+	for i, idx := range path {
+		out[i] = entryRef(tr, idx)
+	}
+	return out, truncated
+}
+
+func lockNames(locks []trace.LockID) []string {
+	if len(locks) == 0 {
+		return nil
+	}
+	out := make([]string, len(locks))
+	for i, l := range locks {
+		out[i] = fmt.Sprintf("l%d", l)
+	}
+	return out
+}
+
+// Bundle renders the collector's records as the exported evidence for
+// one input. It is a pure render — safe to call repeatedly (the live
+// triage view and the final export share one collector).
+func (c *Collector) Bundle(file string) InputEvidence {
+	in := InputEvidence{
+		File:    file,
+		Events:  c.tr.EventCount(),
+		Entries: c.tr.Len(),
+		Races:   []RaceEvidence{},
+		Pruned:  []PruneRecord{},
+	}
+	for _, ev := range c.Evidence() {
+		r := ev.Race
+		re := RaceEvidence{
+			Site:       SiteString(c.tr, ev.Site),
+			Class:      r.Class.String(),
+			Field:      c.tr.FieldName(r.Use.Var.Field()),
+			Var:        c.tr.VarName(r.Use.Var),
+			UseTask:    c.tr.TaskName(r.Use.Task),
+			UseMethod:  c.tr.MethodName(r.Use.Method),
+			UsePC:      uint32(r.Use.DerefPC),
+			UseIdx:     r.Use.ReadIdx,
+			FreeTask:   c.tr.TaskName(r.Free.Task),
+			FreeMethod: c.tr.MethodName(r.Free.Method),
+			FreePC:     uint32(r.Free.PC),
+			FreeIdx:    r.Free.Idx,
+			SameLooper: ev.SameLooper,
+
+			ConvDirection: ev.Conv.Direction.String(),
+
+			UseLocks:  lockNames(ev.UseLocks),
+			FreeLocks: lockNames(ev.FreeLocks),
+
+			Instances:    ev.Instances,
+			FirstUseIdx:  ev.FirstUseIdx,
+			FirstFreeIdx: ev.FirstFreeIdx,
+			LastUseIdx:   ev.LastUseIdx,
+			LastFreeIdx:  ev.LastFreeIdx,
+		}
+		if ev.Ancestor >= 0 {
+			ref := entryRef(c.tr, ev.Ancestor)
+			re.Ancestor = &ref
+			var t1, t2 bool
+			re.AncestorToUse, t1 = refPath(c.tr, ev.ToUse)
+			re.AncestorToFree, t2 = refPath(c.tr, ev.ToFree)
+			re.PathsTruncated = t1 || t2
+		}
+		var tc bool
+		re.ConvPath, tc = refPath(c.tr, ev.Conv.Path)
+		re.PathsTruncated = re.PathsTruncated || tc
+		in.Races = append(in.Races, re)
+	}
+	for i := range c.pruned {
+		p := &c.pruned[i]
+		pr := PruneRecord{
+			Stage:   p.W.Stage.String(),
+			Site:    SiteString(c.tr, p.Site()),
+			UseIdx:  p.Use.ReadIdx,
+			FreeIdx: p.Free.Idx,
+		}
+		switch p.W.Stage {
+		case detect.PruneOrdered:
+			if p.W.UseBeforeFree {
+				pr.Direction = DirUseBeforeFree.String()
+			} else {
+				pr.Direction = DirFreeBeforeUse.String()
+			}
+			pr.Path, pr.PathTruncated = refPath(c.tr, p.Path)
+		case detect.PruneLockset:
+			pr.CommonLocks = lockNames(p.W.CommonLocks)
+		case detect.PruneIntraAlloc:
+			ref := entryRef(c.tr, p.W.AllocIdx)
+			pr.Alloc = &ref
+		case detect.PruneIfGuard:
+			pr.Guard = &GuardRef{
+				EntryRef: entryRef(c.tr, p.W.GuardIdx),
+				RegionLo: uint32(p.W.GuardLo),
+				RegionHi: uint32(p.W.GuardHi),
+			}
+		case detect.PruneDedup:
+			pr.Class = p.W.Class.String()
+		}
+		in.Pruned = append(in.Pruned, pr)
+	}
+	in.PrunedDropped = c.dropped
+	return in
+}
+
+// WriteJSON encodes the bundle as indented JSON.
+func (b *Bundle) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBundle decodes a JSON evidence bundle.
+func ReadBundle(r io.Reader) (*Bundle, error) {
+	var b Bundle
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("evidence bundle: %w", err)
+	}
+	if b.Version != BundleVersion {
+		return nil, fmt.Errorf("evidence bundle: unsupported version %d (want %d)", b.Version, BundleVersion)
+	}
+	return &b, nil
+}

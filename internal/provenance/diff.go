@@ -1,0 +1,71 @@
+package provenance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DiffResult classifies the race sites of a current bundle against a
+// baseline bundle: New sites appear only in current, Fixed only in
+// the baseline, Persisting in both. Sites are the stable strings of
+// SiteString, compared set-wise across all inputs (a site that moved
+// between input files is Persisting, not New+Fixed).
+type DiffResult struct {
+	Baseline   string
+	New        []string
+	Fixed      []string
+	Persisting []string
+}
+
+// HasNew reports whether the diff found races absent from the
+// baseline — the report-regression gate.
+func (d *DiffResult) HasNew() bool { return len(d.New) > 0 }
+
+func bundleSites(b *Bundle) map[string]bool {
+	sites := make(map[string]bool)
+	for i := range b.Inputs {
+		for j := range b.Inputs[i].Races {
+			sites[b.Inputs[i].Races[j].Site] = true
+		}
+	}
+	return sites
+}
+
+// Diff compares current against baseline by race site.
+func Diff(baseline, current *Bundle, baselineName string) *DiffResult {
+	base, cur := bundleSites(baseline), bundleSites(current)
+	d := &DiffResult{Baseline: baselineName}
+	for s := range cur {
+		if base[s] {
+			d.Persisting = append(d.Persisting, s)
+		} else {
+			d.New = append(d.New, s)
+		}
+	}
+	for s := range base {
+		if !cur[s] {
+			d.Fixed = append(d.Fixed, s)
+		}
+	}
+	sort.Strings(d.New)
+	sort.Strings(d.Fixed)
+	sort.Strings(d.Persisting)
+	return d
+}
+
+// Format renders the diff: a summary line, then one line per new and
+// fixed site (persisting sites are summarized only — they are the
+// uninteresting bulk).
+func (d *DiffResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "evidence diff vs %s: new=%d fixed=%d persisting=%d\n",
+		d.Baseline, len(d.New), len(d.Fixed), len(d.Persisting))
+	for _, s := range d.New {
+		fmt.Fprintf(&b, "  new: %s\n", s)
+	}
+	for _, s := range d.Fixed {
+		fmt.Fprintf(&b, "  fixed: %s\n", s)
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package provenance
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the bundle's races as Graphviz causality
+// subgraphs: one cluster per race, containing the nearest common
+// ancestor, the derivation chains to use and free, and the racy
+// operations themselves. Node identity is per-cluster (the same trace
+// entry reached by two races is drawn twice), which keeps each
+// cluster a self-contained picture.
+func WriteDOT(w io.Writer, b *Bundle) error {
+	var sb strings.Builder
+	sb.WriteString("digraph provenance {\n")
+	sb.WriteString("  rankdir=TB;\n")
+	sb.WriteString("  node [shape=box, fontsize=10, fontname=\"monospace\"];\n")
+	cluster := 0
+	for i := range b.Inputs {
+		in := &b.Inputs[i]
+		for j := range in.Races {
+			r := &in.Races[j]
+			fmt.Fprintf(&sb, "  subgraph cluster_%d {\n", cluster)
+			fmt.Fprintf(&sb, "    label=%q;\n", fmt.Sprintf("%s [%s] %s", in.File, r.Class, r.Site))
+			node := func(tag string, ref *EntryRef, attrs string) string {
+				id := fmt.Sprintf("c%d_%s", cluster, tag)
+				fmt.Fprintf(&sb, "    %s [label=%q%s];\n", id,
+					fmt.Sprintf("#%d %s\\n[%s]", ref.Idx, ref.Entry, ref.Task), attrs)
+				return id
+			}
+			useID := node("use", &EntryRef{Idx: r.UseIdx,
+				Entry: fmt.Sprintf("use %s@%d", r.UseMethod, r.UsePC), Task: r.UseTask},
+				", color=red")
+			freeID := node("free", &EntryRef{Idx: r.FreeIdx,
+				Entry: fmt.Sprintf("free %s@%d", r.FreeMethod, r.FreePC), Task: r.FreeTask},
+				", color=red")
+			fmt.Fprintf(&sb, "    %s -> %s [style=dashed, dir=none, color=red, label=%q];\n",
+				useID, freeID, "race: "+r.Field)
+			if r.Ancestor != nil {
+				ancID := node("anc", r.Ancestor, ", style=filled, fillcolor=lightgrey")
+				chain := func(tag string, path []EntryRef, to string) {
+					prev := ancID
+					for k := range path {
+						// Derivation paths include the endpoints; skip them so
+						// the chain connects ancestor -> ... -> racy op.
+						if path[k].Idx == r.Ancestor.Idx {
+							continue
+						}
+						if (to == useID && path[k].Idx == r.UseIdx) ||
+							(to == freeID && path[k].Idx == r.FreeIdx) {
+							continue
+						}
+						id := node(fmt.Sprintf("%s%d", tag, k), &path[k], "")
+						fmt.Fprintf(&sb, "    %s -> %s;\n", prev, id)
+						prev = id
+					}
+					fmt.Fprintf(&sb, "    %s -> %s;\n", prev, to)
+				}
+				chain("u", r.AncestorToUse, useID)
+				chain("f", r.AncestorToFree, freeID)
+			}
+			sb.WriteString("  }\n")
+			cluster++
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

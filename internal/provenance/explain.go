@@ -1,0 +1,83 @@
+package provenance
+
+import (
+	"strings"
+
+	"cafa/internal/hb"
+)
+
+// Direction is a two-operation ordering verdict under a causality
+// model.
+type Direction uint8
+
+// Ordering verdicts.
+const (
+	// DirUnordered: the model orders the pair in neither direction.
+	DirUnordered Direction = iota
+	// DirUseBeforeFree: the model derives use ≺ free.
+	DirUseBeforeFree
+	// DirFreeBeforeUse: the model derives free ≺ use.
+	DirFreeBeforeUse
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirUseBeforeFree:
+		return "use≺free"
+	case DirFreeBeforeUse:
+		return "free≺use"
+	default:
+		return "unordered"
+	}
+}
+
+// ConvVerdict is the conventional-model ordering verdict for a
+// reported race: why the thread-based baseline would hide the pair
+// (it orders it in one direction) or also report it (unordered).
+type ConvVerdict struct {
+	Direction Direction
+	// Path is the ordering derivation in Direction (trace indexes, as
+	// returned by hb.Explain); nil when unordered.
+	Path []int
+}
+
+// ExplainConv resolves the two-direction ordering verdict of a
+// use/free pair under a model (typically the conventional baseline):
+// it tries use ≺ free first, then free ≺ use, and returns the first
+// derivation found. A nil graph yields DirUnordered.
+func ExplainConv(conv *hb.Graph, useIdx, freeIdx int) ConvVerdict {
+	if conv == nil {
+		return ConvVerdict{Direction: DirUnordered}
+	}
+	if path := conv.Explain(useIdx, freeIdx); path != nil {
+		return ConvVerdict{Direction: DirUseBeforeFree, Path: path}
+	}
+	if path := conv.Explain(freeIdx, useIdx); path != nil {
+		return ConvVerdict{Direction: DirFreeBeforeUse, Path: path}
+	}
+	return ConvVerdict{Direction: DirUnordered}
+}
+
+// Format renders the verdict as cafa-analyze's -explain block: a
+// headline naming the direction, then the indented derivation. Every
+// line is prefixed with prefix.
+func (v ConvVerdict) Format(conv *hb.Graph, prefix string) string {
+	switch v.Direction {
+	case DirUseBeforeFree:
+		return prefix + "conventional model would order use ≺ free via:\n" +
+			indent(conv.FormatPath(v.Path), prefix)
+	case DirFreeBeforeUse:
+		return prefix + "conventional model would order free ≺ use via:\n" +
+			indent(conv.FormatPath(v.Path), prefix)
+	default:
+		return prefix + "unordered in both models"
+	}
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(s, "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,82 @@
+package provenance
+
+import (
+	"html/template"
+	"io"
+)
+
+// triageTmpl renders a Bundle as a single-file HTML triage report:
+// one section per input, each race as a card with its causality
+// verdict, conventional-model verdict, lock sets, and instance
+// counts, followed by a prune-witness table. Stdlib html/template
+// only — the report must open from disk with no network access.
+var triageTmpl = template.Must(template.New("triage").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>cafa triage report</title>
+<style>
+body { font-family: system-ui, sans-serif; margin: 2em; background: #fafafa; color: #222; }
+h1 { font-size: 1.4em; }
+h2 { font-size: 1.1em; border-bottom: 1px solid #ccc; padding-bottom: .2em; margin-top: 2em; }
+.race { border: 1px solid #d33; border-radius: 6px; background: #fff; padding: .8em 1em; margin: 1em 0; }
+.race h3 { margin: 0 0 .4em 0; font-size: 1em; font-family: monospace; }
+.race .class { display: inline-block; padding: 0 .5em; border-radius: 3px; background: #d33; color: #fff; font-size: .85em; margin-right: .6em; }
+.race .meta { color: #555; font-size: .9em; }
+.path { font-family: monospace; font-size: .85em; background: #f4f4f4; padding: .5em; border-radius: 4px; margin: .4em 0; overflow-x: auto; }
+table { border-collapse: collapse; font-size: .85em; margin: .6em 0; }
+th, td { border: 1px solid #ddd; padding: .25em .6em; text-align: left; }
+th { background: #eee; }
+td.mono { font-family: monospace; }
+.stats { color: #555; font-size: .9em; }
+</style>
+</head>
+<body>
+<h1>cafa triage report</h1>
+<p class="stats">{{len .Inputs}} input(s) &middot;
+candidates={{.Stats.Candidates}} &middot;
+filtered: ordered={{.Stats.FilteredOrdered}} lockset={{.Stats.FilteredLockset}}
+if-guard={{.Stats.FilteredIfGuard}} intra-alloc={{.Stats.FilteredIntraAlloc}}
+static-guard={{.Stats.FilteredStaticGuard}} duplicates={{.Stats.Duplicates}}</p>
+{{range .Inputs}}
+<h2>{{.File}}</h2>
+<p class="stats">{{.Events}} events, {{.Entries}} trace entries &middot;
+{{len .Races}} race(s), {{len .Pruned}} prune witness(es){{if .PrunedDropped}} (+{{.PrunedDropped}} dropped past cap){{end}}</p>
+{{range .Races}}
+<div class="race">
+<h3><span class="class">{{.Class}}</span>{{.Site}}</h3>
+<p class="meta">use: {{.UseTask}} {{.UseMethod}}@{{.UsePC}} (#{{.UseIdx}}) &middot;
+free: {{.FreeTask}} {{.FreeMethod}}@{{.FreePC}} (#{{.FreeIdx}}) &middot;
+{{if .SameLooper}}same looper{{else}}cross-looper{{end}} &middot;
+{{.Instances}} instance(s)</p>
+{{if .Ancestor}}
+<p class="meta">nearest common ancestor: #{{.Ancestor.Idx}} {{.Ancestor.Entry}} [{{.Ancestor.Task}}]</p>
+{{if .AncestorToUse}}<div class="path">to use:{{range .AncestorToUse}}<br>#{{.Idx}} {{.Entry}} [{{.Task}}]{{end}}</div>{{end}}
+{{if .AncestorToFree}}<div class="path">to free:{{range .AncestorToFree}}<br>#{{.Idx}} {{.Entry}} [{{.Task}}]{{end}}</div>{{end}}
+{{else}}
+<p class="meta">no common causal ancestor</p>
+{{end}}
+<p class="meta">conventional model: {{.ConvDirection}}{{if .PathsTruncated}} (paths truncated){{end}}</p>
+{{if .ConvPath}}<div class="path">conventional ordering:{{range .ConvPath}}<br>#{{.Idx}} {{.Entry}} [{{.Task}}]{{end}}</div>{{end}}
+{{if .UseLocks}}<p class="meta">locks at use: {{range .UseLocks}}{{.}} {{end}}</p>{{end}}
+{{if .FreeLocks}}<p class="meta">locks at free: {{range .FreeLocks}}{{.}} {{end}}</p>{{end}}
+</div>
+{{end}}
+{{if .Pruned}}
+<table>
+<tr><th>stage</th><th>site</th><th>use#</th><th>free#</th><th>witness</th></tr>
+{{range .Pruned}}
+<tr><td>{{.Stage}}</td><td class="mono">{{.Site}}</td><td>{{.UseIdx}}</td><td>{{.FreeIdx}}</td>
+<td class="mono">{{if .Direction}}{{.Direction}}{{if .Path}} via {{len .Path}} step(s){{end}}{{end}}{{range .CommonLocks}}{{.}} {{end}}{{if .Alloc}}alloc #{{.Alloc.Idx}} {{.Alloc.Entry}}{{end}}{{if .Guard}}guard #{{.Guard.Idx}} {{.Guard.Entry}} region [{{.Guard.RegionLo}},{{.Guard.RegionHi}}]{{end}}{{if .Class}}dup of {{.Class}}{{end}}</td></tr>
+{{end}}
+</table>
+{{end}}
+{{end}}
+</body>
+</html>
+`))
+
+// WriteHTML renders the bundle as the HTML triage report.
+func WriteHTML(w io.Writer, b *Bundle) error {
+	return triageTmpl.Execute(w, b)
+}

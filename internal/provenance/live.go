@@ -1,0 +1,53 @@
+package provenance
+
+import (
+	"net/http"
+	"sync"
+
+	"cafa/internal/detect"
+)
+
+// LiveTriage is an http.Handler serving the HTML triage report for
+// the evidence collected so far. Analysis workers Add inputs as they
+// finish; requests render a snapshot, so the page is usable while a
+// long multi-trace run is still in flight.
+type LiveTriage struct {
+	mu     sync.Mutex
+	bundle Bundle
+}
+
+// NewLiveTriage returns an empty live triage view.
+func NewLiveTriage() *LiveTriage {
+	return &LiveTriage{bundle: Bundle{Version: BundleVersion}}
+}
+
+// Add appends one finished input's evidence and folds its stats into
+// the aggregate. Safe for concurrent use.
+func (l *LiveTriage) Add(in InputEvidence, stats detect.Stats) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.bundle.Inputs = append(l.bundle.Inputs, in)
+	l.bundle.Stats.Uses += stats.Uses
+	l.bundle.Stats.Frees += stats.Frees
+	l.bundle.Stats.Allocs += stats.Allocs
+	l.bundle.Stats.Candidates += stats.Candidates
+	l.bundle.Stats.FilteredOrdered += stats.FilteredOrdered
+	l.bundle.Stats.FilteredLockset += stats.FilteredLockset
+	l.bundle.Stats.FilteredIfGuard += stats.FilteredIfGuard
+	l.bundle.Stats.FilteredIntraAlloc += stats.FilteredIntraAlloc
+	l.bundle.Stats.FilteredStaticGuard += stats.FilteredStaticGuard
+	l.bundle.Stats.Duplicates += stats.Duplicates
+}
+
+// ServeHTTP renders the current snapshot as the HTML triage report.
+func (l *LiveTriage) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	l.mu.Lock()
+	snap := Bundle{
+		Version: l.bundle.Version,
+		Inputs:  append([]InputEvidence(nil), l.bundle.Inputs...),
+		Stats:   l.bundle.Stats,
+	}
+	l.mu.Unlock()
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = WriteHTML(w, &snap)
+}
