@@ -1,0 +1,58 @@
+package main
+
+// The -confirm flag wires internal/replay into the batch path: after
+// the text report, each input whose file base name matches a
+// registered app model (internal/apps) has its reported races
+// adversarially re-executed, and the outcome is appended as
+// `confirmed:` / `not-reproduced:` lines. Inputs that do not name an
+// app model are skipped with a note — confirmation needs the app's
+// builder, not just its trace.
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+
+	"cafa/internal/apps"
+	"cafa/internal/provenance"
+	"cafa/internal/replay"
+	"cafa/internal/report"
+)
+
+// confirmScale divides the benign filler volume when rebuilding apps
+// for replay (the planted scenarios are unaffected); same choice as
+// cafa-bench -validate.
+const confirmScale = 100
+
+// emitConfirm appends the replay-confirmation section to the text
+// report.
+func emitConfirm(w io.Writer, reports []*report.FileReport) error {
+	fmt.Fprintf(w, "\n=== replay confirmation (adversarial re-execution) ===\n")
+	for _, rep := range reports {
+		base := strings.TrimSuffix(filepath.Base(rep.File), filepath.Ext(rep.File))
+		spec, ok := apps.ByName(base)
+		if !ok {
+			fmt.Fprintf(w, "%s: no registered app model %q; skipped\n", rep.File, base)
+			continue
+		}
+		fmt.Fprintf(w, "%s: replaying %d race(s) against the %s model\n",
+			rep.File, len(rep.Result.Races), spec.Name)
+		build := apps.ReplayBuilder(spec, confirmScale)
+		for _, r := range rep.Result.Races {
+			use := rep.Trace.MethodName(r.Use.Method)
+			site := provenance.SiteString(rep.Trace, r.Key())
+			conf, err := replay.Confirm(build, use, replay.Options{})
+			if err != nil {
+				return fmt.Errorf("confirm %s: %w", rep.File, err)
+			}
+			if conf != nil {
+				fmt.Fprintf(w, "  confirmed: %s (delay %dms, seed %d: %v)\n",
+					site, conf.DelayMs, conf.Seed, conf.Crash.Err)
+			} else {
+				fmt.Fprintf(w, "  not-reproduced: %s\n", site)
+			}
+		}
+	}
+	return nil
+}

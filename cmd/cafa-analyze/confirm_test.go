@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoldenConfirm locks the -confirm section: the adversarial
+// replay of the committed ZXing fixture is deterministic (fixed seed
+// grid and delay set), so its confirmed/not-reproduced lines are
+// golden-testable like any other report. Regenerate with
+// `go test ./cmd/cafa-analyze -update`.
+func TestGoldenConfirm(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-confirm", "testdata/zxing.trace"}, &buf, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_confirm.txt")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-confirm output diverges from %s (run with -update to regenerate)\n--- got ---\n%s",
+			golden, buf.String())
+	}
+	if !strings.Contains(buf.String(), "confirmed:") {
+		t.Error("no confirmed: lines; the ZXing model plants reproducible NPE races")
+	}
+}
+
+// TestConfirmSkipsNonAppInputs checks the graceful path for traces
+// whose file name matches no registered app model.
+func TestConfirmSkipsNonAppInputs(t *testing.T) {
+	dir := t.TempDir()
+	src, err := os.ReadFile("testdata/zxing.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	anon := filepath.Join(dir, "mystery.trace")
+	if err := os.WriteFile(anon, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-confirm", anon}, &buf, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "skipped") {
+		t.Errorf("non-app input not skipped:\n%s", buf.String())
+	}
+}
+
+// TestConfirmRejectsJSON pins the flag conflict: -confirm annotates
+// the text report only.
+func TestConfirmRejectsJSON(t *testing.T) {
+	err := run([]string{"-confirm", "-json", "testdata/zxing.trace"}, io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("-confirm -json accepted; want an error")
+	}
+}

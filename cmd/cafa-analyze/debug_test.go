@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+)
+
+// freePort reserves an ephemeral port and releases it for reuse.
+func freePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	_ = ln.Close()
+	return port
+}
+
+// TestDebugAddrReleasesPort pins the graceful-shutdown contract of
+// the -debug-addr listener: after run returns, its port must be
+// immediately bindable again (the deferred context-scoped Shutdown
+// released it; a leaked listener would make the rebind fail).
+func TestDebugAddrReleasesPort(t *testing.T) {
+	port := freePort(t)
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	var buf bytes.Buffer
+	if err := run([]string{"-debug-addr", addr, "testdata/zxing.trace"}, &buf, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port %d still held after run returned: %v", port, err)
+	}
+	_ = ln.Close()
+}
+
+// TestDebugAddrBindFailure checks that an unbindable address is a
+// clean error, not a hang or a panic.
+func TestDebugAddrBindFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	err = run([]string{"-debug-addr", ln.Addr().String(), "testdata/zxing.trace"}, io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("run bound an already-taken port; want an error")
+	}
+}

@@ -39,7 +39,6 @@
 package main
 
 import (
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -50,9 +49,11 @@ import (
 	"strings"
 
 	"cafa/internal/analysis"
+	"cafa/internal/buildinfo"
 	"cafa/internal/detect"
 	"cafa/internal/obs"
 	"cafa/internal/provenance"
+	"cafa/internal/report"
 	"cafa/internal/trace"
 )
 
@@ -116,6 +117,8 @@ func exitCode(err error) int {
 // config carries the parsed command line.
 type config struct {
 	inputs    []string
+	version   bool
+	confirm   bool
 	workers   int
 	naive     bool
 	keepDups  bool
@@ -157,6 +160,8 @@ func parseArgs(args []string) (*config, error) {
 	fs := flag.NewFlagSet("cafa-analyze", flag.ContinueOnError)
 	var (
 		in        = fs.String("i", "", "input trace file (legacy; positional arguments are preferred)")
+		version   = fs.Bool("version", false, "print version and exit")
+		confirm   = fs.Bool("confirm", false, "adversarially replay reported races on inputs named after registered app models")
 		workers   = fs.Int("j", 0, "trace-level parallelism (0 = GOMAXPROCS)")
 		naive     = fs.Bool("naive", false, "also run the low-level conflicting-access baseline")
 		keepDups  = fs.Bool("keep-dups", false, "report every dynamic race instance")
@@ -180,6 +185,9 @@ func parseArgs(args []string) (*config, error) {
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
+	if *version {
+		return &config{version: true}, nil
+	}
 	var raw []string
 	if *in != "" {
 		raw = append(raw, *in)
@@ -194,6 +202,7 @@ func parseArgs(args []string) (*config, error) {
 	}
 	return &config{
 		inputs:  inputs,
+		confirm: *confirm,
 		workers: *workers,
 		naive:   *naive, keepDups: *keepDups,
 		noGuard: *noGuard, noAlloc: *noAlloc, noLocks: *noLocks,
@@ -229,17 +238,14 @@ func expandInputs(raw []string) ([]string, error) {
 	return out, nil
 }
 
-// fileReport is the analysis of one input file.
-type fileReport struct {
-	File   string
-	Trace  *trace.Trace
-	Result *analysis.Result
-}
-
 func run(args []string, stdout, stderr io.Writer) error {
 	cfg, err := parseArgs(args)
 	if err != nil {
 		return err
+	}
+	if cfg.version {
+		fmt.Fprintln(stdout, buildinfo.String("cafa-analyze"))
+		return nil
 	}
 	if cfg.wantObs() {
 		obs.Enable()
@@ -254,7 +260,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("debug listener: %w", err)
 		}
-		defer ds.Close()
+		defer ds.ShutdownOnExit()
 		fmt.Fprintf(stderr, "cafa-analyze: debug listener on http://%s (/metrics, /debug/pprof/, /triage)\n", ds.Addr())
 	}
 	if cfg.progress {
@@ -271,15 +277,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	if cfg.asJSON {
-		if err := emitJSON(stdout, reports); err != nil {
+		if cfg.confirm {
+			return fmt.Errorf("-confirm annotates the text report; drop -json")
+		}
+		if err := report.RenderJSON(stdout, reports); err != nil {
 			return err
 		}
-	} else if err := emitText(stdout, cfg, reports); err != nil {
-		return err
+	} else {
+		if err := emitText(stdout, cfg, reports); err != nil {
+			return err
+		}
+		if cfg.confirm {
+			if err := emitConfirm(stdout, reports); err != nil {
+				return err
+			}
+		}
 	}
 	var diffErr error
 	if cfg.wantEvidence() {
-		bundle := buildBundle(reports)
+		bundle := report.BuildBundle(reports)
 		if err := writeEvidenceOutputs(cfg, bundle); err != nil {
 			return err
 		}
@@ -300,18 +316,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	return diffErr
-}
-
-// buildBundle assembles the run's evidence bundle in input order.
-func buildBundle(reports []*fileReport) *provenance.Bundle {
-	b := &provenance.Bundle{Version: provenance.BundleVersion}
-	for _, rep := range reports {
-		in := rep.Result.Evidence.Bundle(rep.File)
-		in.Stats = rep.Result.Stats
-		b.Inputs = append(b.Inputs, in)
-		addStats(&b.Stats, rep.Result.Stats)
-	}
-	return b
 }
 
 // writeEvidenceOutputs renders the bundle to every requested sink.
@@ -374,7 +378,7 @@ func writeTraceEvents(path string) error {
 // worker pool, preserving input order. Each input runs under one
 // "analyze" obs span (decode child, then the pipeline's pass spans),
 // which is what the -progress stream and -trace-out timeline key on.
-func analyzeFiles(cfg *config) ([]*fileReport, error) {
+func analyzeFiles(cfg *config) ([]*report.FileReport, error) {
 	p := analysis.New(analysis.Options{
 		Detect: detect.Options{
 			DisableIfGuard:         cfg.noGuard,
@@ -386,7 +390,7 @@ func analyzeFiles(cfg *config) ([]*fileReport, error) {
 		Evidence: cfg.wantEvidence(),
 		Workers:  cfg.workers,
 	})
-	reports := make([]*fileReport, len(cfg.inputs))
+	reports := make([]*report.FileReport, len(cfg.inputs))
 	errs := make([]error, len(cfg.inputs))
 	analysis.ForEach(cfg.workers, len(cfg.inputs), func(i int) {
 		path := cfg.inputs[i]
@@ -406,7 +410,7 @@ func analyzeFiles(cfg *config) ([]*fileReport, error) {
 			errs[i] = fmt.Errorf("%s: %w", path, err)
 			return
 		}
-		reports[i] = &fileReport{File: path, Trace: tr, Result: res}
+		reports[i] = &report.FileReport{File: path, Trace: tr, Result: res}
 		if cfg.live != nil && res.Evidence != nil {
 			in := res.Evidence.Bundle(path)
 			in.Stats = res.Stats
@@ -437,7 +441,7 @@ func loadTrace(path string) (*trace.Trace, error) {
 	return tr, nil
 }
 
-func emitText(w io.Writer, cfg *config, reports []*fileReport) error {
+func emitText(w io.Writer, cfg *config, reports []*report.FileReport) error {
 	var agg struct {
 		races, a, b, c, naive int
 		stats                 detect.Stats
@@ -485,7 +489,7 @@ func emitText(w io.Writer, cfg *config, reports []*fileReport) error {
 		agg.b += b
 		agg.c += c
 		agg.naive += len(res.Naive)
-		addStats(&agg.stats, res.Stats)
+		agg.stats.Add(res.Stats)
 	}
 	if len(reports) > 1 {
 		fmt.Fprintf(w, "\n=== aggregate over %d traces ===\n", len(reports))
@@ -503,94 +507,6 @@ func emitText(w io.Writer, cfg *config, reports []*fileReport) error {
 		}
 	}
 	return nil
-}
-
-func addStats(dst *detect.Stats, s detect.Stats) {
-	dst.Uses += s.Uses
-	dst.Frees += s.Frees
-	dst.Allocs += s.Allocs
-	dst.Candidates += s.Candidates
-	dst.FilteredOrdered += s.FilteredOrdered
-	dst.FilteredLockset += s.FilteredLockset
-	dst.FilteredIfGuard += s.FilteredIfGuard
-	dst.FilteredIntraAlloc += s.FilteredIntraAlloc
-	dst.FilteredStaticGuard += s.FilteredStaticGuard
-	dst.Duplicates += s.Duplicates
-}
-
-// raceJSON is the machine-readable race record.
-type raceJSON struct {
-	Class      string `json:"class"`
-	Field      string `json:"field"`
-	Var        string `json:"var"`
-	UseTask    string `json:"useTask"`
-	UseMethod  string `json:"useMethod"`
-	UsePC      uint32 `json:"usePC"`
-	UseStack   string `json:"useStack"`
-	FreeTask   string `json:"freeTask"`
-	FreeMethod string `json:"freeMethod"`
-	FreePC     uint32 `json:"freePC"`
-	FreeStack  string `json:"freeStack"`
-}
-
-// inputJSON is the per-trace section of the aggregated JSON report.
-type inputJSON struct {
-	File    string       `json:"file"`
-	Events  int          `json:"events"`
-	Entries int          `json:"entries"`
-	Races   []raceJSON   `json:"races"`
-	Stats   detect.Stats `json:"stats"`
-	Naive   int          `json:"naiveRaces,omitempty"`
-}
-
-// reportJSON is the aggregated machine-readable report.
-type reportJSON struct {
-	Inputs     []inputJSON    `json:"inputs"`
-	Events     int            `json:"events"`
-	TotalRaces int            `json:"totalRaces"`
-	ByClass    map[string]int `json:"byClass"`
-	Stats      detect.Stats   `json:"stats"`
-}
-
-func emitJSON(w io.Writer, reports []*fileReport) error {
-	out := reportJSON{
-		Inputs:  []inputJSON{},
-		ByClass: map[string]int{},
-	}
-	for _, rep := range reports {
-		tr, res := rep.Trace, rep.Result
-		in := inputJSON{
-			File:    rep.File,
-			Events:  tr.EventCount(),
-			Entries: tr.Len(),
-			Races:   []raceJSON{},
-			Stats:   res.Stats,
-			Naive:   len(res.Naive),
-		}
-		for _, r := range res.Races {
-			in.Races = append(in.Races, raceJSON{
-				Class:      r.Class.String(),
-				Field:      tr.FieldName(r.Use.Var.Field()),
-				Var:        tr.VarName(r.Use.Var),
-				UseTask:    tr.TaskName(r.Use.Task),
-				UseMethod:  tr.MethodName(r.Use.Method),
-				UsePC:      uint32(r.Use.DerefPC),
-				UseStack:   detect.FormatStack(tr, detect.CallStack(tr, r.Use.DerefIdx)),
-				FreeTask:   tr.TaskName(r.Free.Task),
-				FreeMethod: tr.MethodName(r.Free.Method),
-				FreePC:     uint32(r.Free.PC),
-				FreeStack:  detect.FormatStack(tr, detect.CallStack(tr, r.Free.Idx)),
-			})
-			out.ByClass[r.Class.String()]++
-		}
-		out.Inputs = append(out.Inputs, in)
-		out.Events += in.Events
-		out.TotalRaces += len(res.Races)
-		addStats(&out.Stats, res.Stats)
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
 }
 
 func indent(s, prefix string) string {

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cafa/internal/apps"
+	"cafa/internal/service"
+	"cafa/internal/service/api"
+	"cafa/internal/service/client"
+	"cafa/internal/sim"
+	"cafa/internal/trace"
+)
+
+// diffScale keeps the ten recordings fast while leaving every planted
+// race in place (scale divides benign filler only).
+const diffScale = 8
+
+// TestServeDifferential is the service's correctness proof: for every
+// app in the ten-app suite, the report and evidence bundle served by
+// cafa-serve must be byte-identical to what `cafa-analyze -json
+// -evidence-out` writes for the same trace file. The rendering code
+// is shared (internal/report), so any divergence here means the
+// service pipeline drifted from the batch pipeline.
+func TestServeDifferential(t *testing.T) {
+	svc := service.New(service.Config{Workers: 2})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	c := client.New(ts.URL)
+
+	dir := t.TempDir()
+	for _, spec := range apps.Registry {
+		col := trace.NewCollector()
+		b, err := apps.Build(spec, sim.Config{Tracer: col, Seed: 1}, diffScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, strings.ToLower(spec.Name)+".trace")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := col.T.Encode(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		t.Run(spec.Name, func(t *testing.T) {
+			// Batch CLI: report on stdout, evidence to a file.
+			evPath := filepath.Join(dir, strings.ToLower(spec.Name)+".evidence.json")
+			var cliReport bytes.Buffer
+			if err := run([]string{"-json", "-evidence-out", evPath, path}, &cliReport, io.Discard); err != nil {
+				t.Fatal(err)
+			}
+			cliEvidence, err := os.ReadFile(evPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Service: submit the same bytes under the same label.
+			j, err := c.SubmitFile(path, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			j, err = c.Wait(j.ID, time.Minute)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if j.State != api.StateDone {
+				t.Fatalf("job = %+v", j)
+			}
+			srvReport, err := c.Report(j.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srvEvidence, err := c.Evidence(j.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(cliReport.Bytes(), srvReport) {
+				t.Errorf("report bytes diverge (cli %d, serve %d):\n%s",
+					cliReport.Len(), len(srvReport), firstDiff(cliReport.Bytes(), srvReport))
+			}
+			if !bytes.Equal(cliEvidence, srvEvidence) {
+				t.Errorf("evidence bytes diverge (cli %d, serve %d):\n%s",
+					len(cliEvidence), len(srvEvidence), firstDiff(cliEvidence, srvEvidence))
+			}
+		})
+	}
+}
+
+// firstDiff renders the first divergent region of two byte slices.
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 40
+			if lo < 0 {
+				lo = 0
+			}
+			hiA, hiB := i+40, i+40
+			if hiA > len(a) {
+				hiA = len(a)
+			}
+			if hiB > len(b) {
+				hiB = len(b)
+			}
+			return fmt.Sprintf("at byte %d:\n  cli:   %q\n  serve: %q", i, a[lo:hiA], b[lo:hiB])
+		}
+	}
+	return fmt.Sprintf("one is a prefix of the other (lengths %d vs %d)", len(a), len(b))
+}

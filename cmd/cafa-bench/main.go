@@ -26,6 +26,7 @@ import (
 
 	"cafa/internal/analysis"
 	"cafa/internal/apps"
+	"cafa/internal/buildinfo"
 	"cafa/internal/detect"
 	"cafa/internal/obs"
 	"cafa/internal/replay"
@@ -51,8 +52,13 @@ func main() {
 		iters     = flag.Int("iters", 3, "timing repetitions for Figure 8")
 		metrics   = flag.Bool("metrics", false, "append a summary of pipeline metrics after the experiments")
 		metricsTo = flag.String("metrics-out", "", "write a Prometheus snapshot of pipeline metrics to this file")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("cafa-bench"))
+		return
+	}
 	if *metrics || *metricsTo != "" {
 		obs.Enable()
 	}
@@ -285,14 +291,7 @@ func main() {
 				fmt.Printf("%-12s (no harmful race planted)\n", spec.Name)
 				continue
 			}
-			builder := func(cfg sim.Config) (*sim.System, error) {
-				out, err := apps.Build(spec, cfg, 100)
-				if err != nil {
-					return nil, err
-				}
-				return out.Sys, nil
-			}
-			conf, err := replay.Confirm(builder, target, replay.Options{})
+			conf, err := replay.Confirm(apps.ReplayBuilder(spec, 100), target, replay.Options{})
 			if err != nil {
 				fail("%v", err)
 			}

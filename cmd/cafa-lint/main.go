@@ -29,6 +29,7 @@ import (
 
 	"cafa/internal/analysis"
 	"cafa/internal/apps"
+	"cafa/internal/buildinfo"
 	"cafa/internal/dataflow"
 	"cafa/internal/obs"
 	"cafa/internal/sim"
@@ -45,6 +46,7 @@ func main() {
 
 type config struct {
 	app       string
+	version   bool
 	traceFile string
 	dynamic   bool
 	scale     int
@@ -65,9 +67,13 @@ func parseArgs(args []string) (*config, error) {
 		asJSON  = fs.Bool("json", false, "emit the lint report as JSON")
 		bench   = fs.Bool("bench", false, "emit per-app static-pass timings as JSON (BENCH_static.json)")
 		metrics = fs.Bool("metrics", false, "append a summary of static-pass metrics after the report")
+		version = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
+	}
+	if *version {
+		return &config{version: true}, nil
 	}
 	if fs.NArg() > 0 {
 		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
@@ -113,6 +119,10 @@ func run(args []string, stdout io.Writer) error {
 	cfg, err := parseArgs(args)
 	if err != nil {
 		return err
+	}
+	if cfg.version {
+		fmt.Fprintln(stdout, buildinfo.String("cafa-lint"))
+		return nil
 	}
 	sp, err := specs(cfg)
 	if err != nil {

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"cafa/internal/apps"
+	"cafa/internal/service"
+	"cafa/internal/service/api"
+	"cafa/internal/service/client"
+	"cafa/internal/sim"
+	"cafa/internal/trace"
+)
+
+// selftestApp is small enough to record, analyze, and replay in a few
+// seconds at selftestScale.
+const (
+	selftestApp   = "ZXing"
+	selftestScale = 32
+)
+
+// runSelftest exercises the whole service loop in-process against a
+// loopback listener: record a real app trace, submit it twice (the
+// second must be a cache hit serving identical bytes), fetch all
+// three artifacts, run the adversarial confirm replay, and check the
+// metrics endpoint. It is the CI smoke entry point.
+func runSelftest(cfg service.Config) error {
+	dir, err := os.MkdirTemp("", "cafa-serve-selftest")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfg.ResultsDir = dir
+	cfg.ReplayScale = selftestScale
+	svc := service.New(cfg)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+
+	spec, ok := apps.ByName(selftestApp)
+	if !ok {
+		return fmt.Errorf("app model %q missing", selftestApp)
+	}
+	col := trace.NewCollector()
+	b, err := apps.Build(spec, sim.Config{Tracer: col, Seed: 1}, selftestScale)
+	if err != nil {
+		return fmt.Errorf("build %s: %w", selftestApp, err)
+	}
+	if err := b.Sys.Run(); err != nil {
+		return fmt.Errorf("run %s: %w", selftestApp, err)
+	}
+	var raw bytes.Buffer
+	if err := col.T.Encode(&raw); err != nil {
+		return fmt.Errorf("encode trace: %w", err)
+	}
+
+	c := client.New("http://" + ln.Addr().String())
+
+	// First submission: a miss that runs the full pipeline.
+	j1, err := c.Submit(raw.Bytes(), "selftest.trace", selftestApp)
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	if j1.Cached {
+		return fmt.Errorf("first submission reported cached")
+	}
+	j1, err = c.Wait(j1.ID, 2*time.Minute)
+	if err != nil {
+		return fmt.Errorf("wait: %w", err)
+	}
+	if j1.State != api.StateDone {
+		return fmt.Errorf("job %s finished %s: %s", j1.ID, j1.State, j1.Error)
+	}
+	if j1.Races == 0 {
+		return fmt.Errorf("no races reported for %s (model plants %d)", selftestApp, spec.Paper.Reported)
+	}
+
+	// Second submission: identical bytes must be a cache hit with an
+	// identical report.
+	j2, err := c.Submit(raw.Bytes(), "selftest.trace", selftestApp)
+	if err != nil {
+		return fmt.Errorf("resubmit: %w", err)
+	}
+	if !j2.Cached || j2.State != api.StateDone {
+		return fmt.Errorf("resubmission not served from cache (cached=%t state=%s)", j2.Cached, j2.State)
+	}
+	r1, err := c.Report(j1.ID)
+	if err != nil {
+		return fmt.Errorf("report %s: %w", j1.ID, err)
+	}
+	r2, err := c.Report(j2.ID)
+	if err != nil {
+		return fmt.Errorf("report %s: %w", j2.ID, err)
+	}
+	if !bytes.Equal(r1, r2) {
+		return fmt.Errorf("cache served different report bytes")
+	}
+	ev, err := c.Evidence(j1.ID)
+	if err != nil || len(ev) == 0 {
+		return fmt.Errorf("evidence: %v (%d bytes)", err, len(ev))
+	}
+	tri, err := c.Triage(j1.ID)
+	if err != nil || !bytes.Contains(tri, []byte("<html")) {
+		return fmt.Errorf("triage: %v (html? %t)", err, bytes.Contains(tri, []byte("<html")))
+	}
+	st, err := c.Stats()
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	if st.Cache.Hits < 1 {
+		return fmt.Errorf("cache hits = %d, want >= 1", st.Cache.Hits)
+	}
+
+	// Confirm replay: at least the planted races should reproduce.
+	if _, err := c.Confirm(j1.ID, ""); err != nil {
+		return fmt.Errorf("confirm: %w", err)
+	}
+	j1, err = c.Wait(j1.ID, 2*time.Minute)
+	if err != nil {
+		return fmt.Errorf("wait for confirm: %w", err)
+	}
+	if j1.Confirm == nil || j1.Confirm.State != api.ConfirmDone {
+		return fmt.Errorf("confirm did not finish: %+v", j1.Confirm)
+	}
+	if len(j1.Confirm.Confirmations) == 0 {
+		return fmt.Errorf("confirm reproduced no races for %s", selftestApp)
+	}
+	ev2, err := c.Evidence(j1.ID)
+	if err != nil {
+		return fmt.Errorf("annotated evidence: %w", err)
+	}
+	if !bytes.Contains(ev2, []byte(`"confirmed"`)) {
+		return fmt.Errorf("annotated evidence carries no confirmation records")
+	}
+
+	// The metrics endpoint must expose the service counters.
+	resp, err := http.Get(c.Base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	var mb bytes.Buffer
+	if _, err := mb.ReadFrom(resp.Body); err != nil {
+		return err
+	}
+	for _, want := range []string{"serve_jobs_submitted_total", "serve_cache_hits_total", "serve_queue_depth"} {
+		if !strings.Contains(mb.String(), want) {
+			return fmt.Errorf("metrics endpoint missing %s", want)
+		}
+	}
+
+	fmt.Printf("selftest: %s scale %d: %d races, %d confirmed, cache hits %d\n",
+		selftestApp, selftestScale, j1.Races, len(j1.Confirm.Confirmations), st.Cache.Hits)
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"cafa/internal/apps"
+	"cafa/internal/buildinfo"
 	"cafa/internal/sim"
 	"cafa/internal/trace"
 )
@@ -29,8 +30,13 @@ func main() {
 		format  = flag.String("format", "bin", "output trace format: bin (compact binary) or text (lossless line-oriented)")
 		text    = flag.Bool("text", false, "also dump the trace as human-readable text to stdout (lossy)")
 		list    = flag.Bool("list", false, "list available application models")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("cafa-trace"))
+		return
+	}
 	if *list {
 		for _, spec := range apps.Registry {
 			fmt.Printf("%-12s %5d events, %2d planted races — %s\n",

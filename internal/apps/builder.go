@@ -1,0 +1,21 @@
+package apps
+
+import "cafa/internal/sim"
+
+// ReplayBuilder adapts an application model to the builder shape
+// internal/replay searches over: the returned function rebuilds the
+// whole app under the adversarial sim.Config replay chooses (biased
+// event delays, varied scheduler seeds). The signature matches
+// replay.Builder structurally, so this package does not import
+// replay. scale divides the benign filler volume exactly as Build
+// does; confirmation only needs the planted scenarios, so callers use
+// a large scale to keep re-executions fast.
+func ReplayBuilder(spec Spec, scale int) func(cfg sim.Config) (*sim.System, error) {
+	return func(cfg sim.Config) (*sim.System, error) {
+		out, err := Build(spec, cfg, scale)
+		if err != nil {
+			return nil, err
+		}
+		return out.Sys, nil
+	}
+}

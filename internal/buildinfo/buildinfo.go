@@ -1,0 +1,53 @@
+// Package buildinfo renders the shared -version line for the CAFA
+// command-line tools and the service: module version, VCS revision,
+// and Go toolchain, all read from the binary's embedded build info
+// (debug.ReadBuildInfo), so the tools report provenance without a
+// linker-flag build recipe.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// revisionLen truncates VCS revisions to the conventional short-hash
+// width.
+const revisionLen = 12
+
+// String renders the one-line -version output for the named command:
+//
+//	cafa-serve v0.3.1 (a1b2c3d4e5f6+dirty) go1.24.0
+//
+// Fields that the build did not stamp (test binaries, `go run` from a
+// non-VCS directory) are omitted; the module version falls back to
+// "(devel)".
+func String(cmd string) string {
+	version := "(devel)"
+	var rev string
+	dirty := false
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+	}
+	out := fmt.Sprintf("%s %s", cmd, version)
+	if rev != "" {
+		if len(rev) > revisionLen {
+			rev = rev[:revisionLen]
+		}
+		if dirty {
+			rev += "+dirty"
+		}
+		out += " (" + rev + ")"
+	}
+	return out + " " + runtime.Version()
+}

@@ -1,0 +1,21 @@
+package buildinfo
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestStringShape(t *testing.T) {
+	got := String("cafa-test")
+	if !strings.HasPrefix(got, "cafa-test ") {
+		t.Errorf("String() = %q, want the command name first", got)
+	}
+	if !strings.HasSuffix(got, runtime.Version()) {
+		t.Errorf("String() = %q, want the toolchain version last", got)
+	}
+	// Test binaries carry build info but no pinned module version.
+	if !strings.Contains(got, "(devel)") && strings.Count(got, " ") < 2 {
+		t.Errorf("String() = %q, want a module version field", got)
+	}
+}

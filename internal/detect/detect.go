@@ -206,6 +206,23 @@ type Stats struct {
 	Duplicates          int
 }
 
+// Add folds other into s field by field. It is the one aggregation
+// point for multi-trace reports (CLI aggregate section, live triage,
+// evidence bundles, the service), so new Stats fields only need to be
+// wired here.
+func (s *Stats) Add(other Stats) {
+	s.Uses += other.Uses
+	s.Frees += other.Frees
+	s.Allocs += other.Allocs
+	s.Candidates += other.Candidates
+	s.FilteredOrdered += other.FilteredOrdered
+	s.FilteredLockset += other.FilteredLockset
+	s.FilteredIfGuard += other.FilteredIfGuard
+	s.FilteredIntraAlloc += other.FilteredIntraAlloc
+	s.FilteredStaticGuard += other.FilteredStaticGuard
+	s.Duplicates += other.Duplicates
+}
+
 // Result is the detector output.
 type Result struct {
 	Races []Race

@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // DebugServer is the optional -debug-addr HTTP listener: /metrics
@@ -51,5 +53,28 @@ func ServeDebug(addr string, extra ...Route) (*DebugServer, error) {
 // Addr returns the bound listen address (useful with port 0).
 func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
 
-// Close stops the listener.
+// Close stops the listener immediately, dropping in-flight requests.
 func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// Shutdown stops the listener gracefully: the port is released at
+// once (no new connections), in-flight requests get until the context
+// deadline to finish, and stragglers are then closed hard, so the
+// listener never outlives the run that opened it.
+func (d *DebugServer) Shutdown(ctx context.Context) error {
+	if err := d.srv.Shutdown(ctx); err != nil {
+		return d.srv.Close()
+	}
+	return nil
+}
+
+// shutdownGrace is how long CLI runs wait for in-flight debug
+// requests (a /triage render, a pprof snapshot) on exit.
+const shutdownGrace = 2 * time.Second
+
+// ShutdownOnExit is the deferred form used by the CLIs: a bounded
+// graceful shutdown with the default grace period.
+func (d *DebugServer) ShutdownOnExit() {
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	_ = d.Shutdown(ctx)
+}

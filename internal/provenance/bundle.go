@@ -86,6 +86,20 @@ type RaceEvidence struct {
 	FirstFreeIdx int `json:"firstFreeIdx"`
 	LastUseIdx   int `json:"lastUseIdx"`
 	LastFreeIdx  int `json:"lastFreeIdx"`
+
+	// Confirmed records a successful §6.2-style adversarial replay of
+	// this race (attached by the service's confirm step or any other
+	// internal/replay driver). Absent until a confirmation ran and
+	// reproduced the crash, so bundles diff cleanly before and after.
+	Confirmed *ConfirmationRecord `json:"confirmed,omitempty"`
+}
+
+// ConfirmationRecord is the exported form of a replay.Confirmation:
+// the schedule that reproduced the crash and the crash itself.
+type ConfirmationRecord struct {
+	Seed    uint64 `json:"seed"`
+	DelayMs int64  `json:"delayMs"`
+	Crash   string `json:"crash"`
 }
 
 // GuardRef is the exported if-guard witness: the matched branch entry

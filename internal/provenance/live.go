@@ -27,16 +27,7 @@ func (l *LiveTriage) Add(in InputEvidence, stats detect.Stats) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.bundle.Inputs = append(l.bundle.Inputs, in)
-	l.bundle.Stats.Uses += stats.Uses
-	l.bundle.Stats.Frees += stats.Frees
-	l.bundle.Stats.Allocs += stats.Allocs
-	l.bundle.Stats.Candidates += stats.Candidates
-	l.bundle.Stats.FilteredOrdered += stats.FilteredOrdered
-	l.bundle.Stats.FilteredLockset += stats.FilteredLockset
-	l.bundle.Stats.FilteredIfGuard += stats.FilteredIfGuard
-	l.bundle.Stats.FilteredIntraAlloc += stats.FilteredIntraAlloc
-	l.bundle.Stats.FilteredStaticGuard += stats.FilteredStaticGuard
-	l.bundle.Stats.Duplicates += stats.Duplicates
+	l.bundle.Stats.Add(stats)
 }
 
 // ServeHTTP renders the current snapshot as the HTML triage report.

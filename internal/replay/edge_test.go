@@ -1,0 +1,73 @@
+package replay
+
+import (
+	"errors"
+	"testing"
+
+	"cafa/internal/sim"
+)
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	o.defaults()
+	if o.Seeds != 4 {
+		t.Errorf("Seeds = %d, want 4", o.Seeds)
+	}
+	if len(o.Delays) != 3 || o.Delays[0] != 0 || o.Delays[1] != 50 || o.Delays[2] != 500 {
+		t.Errorf("Delays = %v, want [0 50 500]", o.Delays)
+	}
+
+	set := Options{Seeds: 2, Delays: []int64{7}}
+	set.defaults()
+	if set.Seeds != 2 || len(set.Delays) != 1 || set.Delays[0] != 7 {
+		t.Errorf("explicit options rewritten: %+v", set)
+	}
+
+	neg := Options{Seeds: -1}
+	neg.defaults()
+	if neg.Seeds != 4 {
+		t.Errorf("negative Seeds not defaulted: %d", neg.Seeds)
+	}
+}
+
+func TestConfirmPropagatesBuilderError(t *testing.T) {
+	boom := errors.New("scenario assembly failed")
+	build := func(sim.Config) (*sim.System, error) { return nil, boom }
+	conf, err := Confirm(build, "onAnything", Options{})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Confirm err = %v, want %v", err, boom)
+	}
+	if conf != nil {
+		t.Fatalf("Confirm returned a confirmation alongside the error: %+v", conf)
+	}
+}
+
+func TestBaselinePropagatesBuilderError(t *testing.T) {
+	boom := errors.New("no such app")
+	build := func(sim.Config) (*sim.System, error) { return nil, boom }
+	crashed, err := Baseline(build, "onAnything")
+	if !errors.Is(err, boom) {
+		t.Fatalf("Baseline err = %v, want %v", err, boom)
+	}
+	if crashed {
+		t.Fatal("Baseline reported a crash alongside the error")
+	}
+}
+
+// TestConfirmStopsAtFirstBuilderError pins the failure mode: the
+// search aborts on the first broken build instead of burning the rest
+// of the seed x delay grid.
+func TestConfirmStopsAtFirstBuilderError(t *testing.T) {
+	calls := 0
+	build := func(sim.Config) (*sim.System, error) {
+		calls++
+		return nil, errors.New("broken")
+	}
+	_, err := Confirm(build, "m", Options{Seeds: 4, Delays: []int64{0, 50, 500}})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if calls != 1 {
+		t.Fatalf("builder called %d times after failing, want 1", calls)
+	}
+}

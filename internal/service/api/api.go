@@ -1,0 +1,89 @@
+// Package api defines the wire types of the cafa-serve HTTP API,
+// shared by the server (internal/service) and the Go client
+// (internal/service/client). Artifact endpoints (report, evidence,
+// triage) serve the same byte formats the batch CLIs write, so they
+// need no types here.
+package api
+
+// Job states. A job is terminal in StateDone or StateFailed.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// Job is the job-lifecycle record returned by POST /v1/jobs,
+// GET /v1/jobs/{id}, and streamed by GET /v1/jobs/{id}/events.
+type Job struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Name   string `json:"name"`
+	App    string `json:"app,omitempty"`
+	SHA256 string `json:"sha256"`
+	// Cached reports that the submission was answered from the
+	// content-addressed result cache without re-running analysis.
+	Cached bool `json:"cached"`
+	// Progress is the current pipeline stage while running (mirrors
+	// the obs span stream's serve.stage markers).
+	Progress string `json:"progress,omitempty"`
+	// Races is the reported use-free race count, valid once done.
+	Races int    `json:"races"`
+	Error string `json:"error,omitempty"`
+	// Confirm is the async replay-confirmation status, present once
+	// POST /v1/jobs/{id}/confirm has been accepted.
+	Confirm *Confirm `json:"confirm,omitempty"`
+}
+
+// Terminal reports whether the job reached a final state.
+func (j *Job) Terminal() bool { return j.State == StateDone || j.State == StateFailed }
+
+// Confirm states (Confirm.State).
+const (
+	ConfirmRunning = "running"
+	ConfirmDone    = "done"
+	ConfirmFailed  = "failed"
+)
+
+// Confirm is the adversarial-replay confirmation attached to a job.
+type Confirm struct {
+	State string `json:"state"`
+	App   string `json:"app"`
+	// Checked counts races replayed so far (streams while running).
+	Checked       int            `json:"checked"`
+	Confirmations []Confirmation `json:"confirmations"`
+	Error         string         `json:"error,omitempty"`
+}
+
+// Confirmation is one successful adversarial reproduction: the
+// schedule under which the reported race actually crashed.
+type Confirmation struct {
+	Site      string `json:"site"`
+	UseMethod string `json:"useMethod"`
+	Seed      uint64 `json:"seed"`
+	DelayMs   int64  `json:"delayMs"`
+	Crash     string `json:"crash"`
+}
+
+// Stats is the operational snapshot served by GET /v1/stats.
+type Stats struct {
+	JobsByState map[string]int `json:"jobsByState"`
+	QueueDepth  int            `json:"queueDepth"`
+	QueueCap    int            `json:"queueCap"`
+	Cache       CacheStats     `json:"cache"`
+}
+
+// CacheStats describes the content-addressed result cache.
+type CacheStats struct {
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	Budget  int64 `json:"budget"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Evicted int64 `json:"evicted"`
+}
+
+// Error is the JSON error envelope for non-2xx responses.
+type Error struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,113 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"cafa/internal/detect"
+	"cafa/internal/service/api"
+)
+
+// artifacts is one completed analysis, fully rendered: the three
+// served artifact formats plus the race metadata the confirm step
+// replays from. Entries are immutable once cached — confirm-annotated
+// evidence is a job-local copy, never a cache mutation — so one entry
+// can back any number of duplicate submissions.
+type artifacts struct {
+	Report   []byte
+	Evidence []byte
+	Triage   []byte
+	Races    []raceMeta
+	Stats    detect.Stats
+}
+
+// raceMeta is the replay handle for one reported race.
+type raceMeta struct {
+	Site      string
+	UseMethod string
+}
+
+// size is the entry's cache-budget charge (artifact bytes; the small
+// metadata slices ride along uncharged).
+func (a *artifacts) size() int64 {
+	return int64(len(a.Report) + len(a.Evidence) + len(a.Triage))
+}
+
+// resultCache is the content-addressed result cache: key =
+// SHA-256(trace bytes) + analysis-config fingerprint, value = the
+// rendered artifacts, evicted least-recently-used once the byte
+// budget is exceeded. Hit/miss/eviction tallies are kept here (not
+// only in obs counters) so behavior is assertable with obs disabled.
+type resultCache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	ll      *list.List // front = most recently used *cacheEntry
+	items   map[string]*list.Element
+	hits    int64
+	misses  int64
+	evicted int64
+}
+
+type cacheEntry struct {
+	key string
+	art *artifacts
+}
+
+func newResultCache(budget int64) *resultCache {
+	return &resultCache{budget: budget, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached artifacts for key, refreshing its recency.
+func (c *resultCache) get(key string) (*artifacts, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).art, true
+}
+
+// put inserts (or replaces) the entry and evicts from the cold end
+// until the byte budget holds. An entry larger than the whole budget
+// is admitted alone — the submission that produced it still needs to
+// be served — and evicted by the next insertion.
+func (c *resultCache) put(key string, art *artifacts) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		old := el.Value.(*cacheEntry)
+		c.used += art.size() - old.art.size()
+		old.art = art
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, art: art})
+		c.used += art.size()
+	}
+	for c.used > c.budget && c.ll.Len() > 1 {
+		back := c.ll.Back()
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.used -= ent.art.size()
+		c.evicted++
+	}
+}
+
+// stats snapshots the cache for /v1/stats and the obs gauges.
+func (c *resultCache) stats() api.CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return api.CacheStats{
+		Entries: c.ll.Len(),
+		Bytes:   c.used,
+		Budget:  c.budget,
+		Hits:    c.hits,
+		Misses:  c.misses,
+		Evicted: c.evicted,
+	}
+}

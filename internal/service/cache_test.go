@@ -1,0 +1,70 @@
+package service
+
+import "testing"
+
+func art(n int) *artifacts {
+	return &artifacts{Report: make([]byte, n)}
+}
+
+func TestCacheHitMissTallies(t *testing.T) {
+	c := newResultCache(100)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.put("a", art(10))
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("miss after put")
+	}
+	st := c.stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := newResultCache(30)
+	c.put("a", art(10))
+	c.put("b", art(10))
+	c.put("c", art(10))
+	// Touch a so b is the coldest, then overflow.
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.put("d", art(10))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived; want LRU eviction")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%s evicted; want only b gone", k)
+		}
+	}
+	if st := c.stats(); st.Evicted != 1 || st.Bytes != 30 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheReplaceAdjustsBytes(t *testing.T) {
+	c := newResultCache(100)
+	c.put("a", art(10))
+	c.put("a", art(40))
+	if st := c.stats(); st.Entries != 1 || st.Bytes != 40 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheOversizedEntryAdmittedAlone(t *testing.T) {
+	c := newResultCache(30)
+	c.put("big", art(50))
+	if _, ok := c.get("big"); !ok {
+		t.Fatal("oversized entry not admitted")
+	}
+	// The next insertion pushes it out.
+	c.put("small", art(10))
+	if _, ok := c.get("big"); ok {
+		t.Fatal("oversized entry survived a later insertion")
+	}
+	if _, ok := c.get("small"); !ok {
+		t.Fatal("small entry missing")
+	}
+}

@@ -1,0 +1,195 @@
+// Package client is the thin Go client for cafa-serve's HTTP API.
+// It wraps the wire types in internal/service/api; the CI smoke job
+// and the -selftest path drive the service through it.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"time"
+
+	"cafa/internal/service/api"
+)
+
+// APIError is a non-2xx response, carrying the server's error
+// envelope when one was parseable.
+type APIError struct {
+	Status int
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("cafa-serve: HTTP %d: %s", e.Status, e.Msg)
+}
+
+// Client talks to one cafa-serve instance.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:7420".
+	Base string
+	// HTTP is the transport (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+func New(base string) *Client { return &Client{Base: base} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues the request and decodes a JSON body into out (when
+// non-nil). Non-2xx statuses become *APIError.
+func (c *Client) do(method, path string, query url.Values, body io.Reader, out any) error {
+	u := c.Base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	req, err := http.NewRequest(method, u, body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var envelope api.Error
+		msg := string(bytes.TrimSpace(raw))
+		if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
+			msg = envelope.Error
+		}
+		return &APIError{Status: resp.StatusCode, Msg: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// Submit uploads raw trace bytes. name labels the report (optional);
+// app names the app model for later Confirm calls (optional). The
+// returned job is already done when the server answered from cache.
+func (c *Client) Submit(raw []byte, name, app string) (api.Job, error) {
+	q := url.Values{}
+	if name != "" {
+		q.Set("name", name)
+	}
+	if app != "" {
+		q.Set("app", app)
+	}
+	var j api.Job
+	err := c.do(http.MethodPost, "/v1/jobs", q, bytes.NewReader(raw), &j)
+	return j, err
+}
+
+// SubmitFile uploads a trace file, labeling the job with its path.
+func (c *Client) SubmitFile(path, app string) (api.Job, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return api.Job{}, err
+	}
+	return c.Submit(raw, path, app)
+}
+
+// Job fetches one job record.
+func (c *Client) Job(id string) (api.Job, error) {
+	var j api.Job
+	err := c.do(http.MethodGet, "/v1/jobs/"+id, nil, nil, &j)
+	return j, err
+}
+
+// Wait long-polls the job until it (and any running confirm) settles
+// or the wait expires; the server caps one poll at its own maximum,
+// so Wait re-polls until the deadline.
+func (c *Client) Wait(id string, timeout time.Duration) (api.Job, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			j, err := c.Job(id)
+			if err != nil {
+				return j, err
+			}
+			return j, fmt.Errorf("job %s not settled after %v (state %s)", id, timeout, j.State)
+		}
+		q := url.Values{"wait": []string{remain.Round(time.Millisecond).String()}}
+		var j api.Job
+		if err := c.do(http.MethodGet, "/v1/jobs/"+id, q, nil, &j); err != nil {
+			return j, err
+		}
+		if j.Terminal() && (j.Confirm == nil || j.Confirm.State != api.ConfirmRunning) {
+			return j, nil
+		}
+	}
+}
+
+// artifact fetches one rendered artifact body.
+func (c *Client) artifact(id, kind string) ([]byte, error) {
+	u := fmt.Sprintf("%s/v1/jobs/%s/%s", c.Base, id, kind)
+	resp, err := c.httpClient().Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var envelope api.Error
+		msg := string(bytes.TrimSpace(raw))
+		if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
+			msg = envelope.Error
+		}
+		return nil, &APIError{Status: resp.StatusCode, Msg: msg}
+	}
+	return raw, nil
+}
+
+// Report fetches the job's JSON race report.
+func (c *Client) Report(id string) ([]byte, error) { return c.artifact(id, "report") }
+
+// Evidence fetches the job's evidence bundle (confirm-annotated when
+// a confirm run reproduced races).
+func (c *Client) Evidence(id string) ([]byte, error) { return c.artifact(id, "evidence") }
+
+// Triage fetches the job's HTML triage page.
+func (c *Client) Triage(id string) ([]byte, error) { return c.artifact(id, "triage") }
+
+// Confirm starts (or reports) the job's adversarial replay run. app
+// overrides the model named at submission (optional).
+func (c *Client) Confirm(id, app string) (api.Job, error) {
+	q := url.Values{}
+	if app != "" {
+		q.Set("app", app)
+	}
+	var j api.Job
+	err := c.do(http.MethodPost, "/v1/jobs/"+id+"/confirm", q, nil, &j)
+	return j, err
+}
+
+// Jobs lists every job in submission order.
+func (c *Client) Jobs() ([]api.Job, error) {
+	var out []api.Job
+	err := c.do(http.MethodGet, "/v1/jobs", nil, nil, &out)
+	return out, err
+}
+
+// Stats fetches the server's queue and cache statistics.
+func (c *Client) Stats() (api.Stats, error) {
+	var st api.Stats
+	err := c.do(http.MethodGet, "/v1/stats", nil, nil, &st)
+	return st, err
+}

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+
+	"cafa/internal/apps"
+	"cafa/internal/obs"
+	"cafa/internal/provenance"
+	"cafa/internal/replay"
+	"cafa/internal/service/api"
+)
+
+// handleConfirm starts (or reports) the asynchronous adversarial
+// confirmation of a finished job's races: each reported race is
+// replayed against the named app model's builder under biased
+// schedules (internal/replay), and every reproduction is attached to
+// the job record and its evidence bundle. The app comes from ?app=,
+// falling back to the one named at submission. 202 = replay started,
+// 200 = already ran (idempotent), 409 = job not finished.
+func (s *Server) handleConfirm(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	appName := r.URL.Query().Get("app")
+	if appName == "" {
+		appName = j.snapshot().App
+	}
+	if appName == "" {
+		writeErr(w, http.StatusBadRequest, "no app model: pass ?app= (or submit with one)")
+		return
+	}
+	spec, ok := apps.ByName(appName)
+	if !ok {
+		writeErr(w, http.StatusBadRequest, "unknown app model %q", appName)
+		return
+	}
+	if _, ok := j.artifact(); !ok {
+		writeErr(w, http.StatusConflict, "job not finished; confirm needs the race report")
+		return
+	}
+
+	// The closed check and the WaitGroup Add are atomic against
+	// Shutdown (both under s.mu), so a confirm never starts after the
+	// drain began waiting on it.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	already := false
+	j.mu.Lock()
+	if j.confirm != nil {
+		already = true
+	} else {
+		j.confirm = &api.Confirm{State: api.ConfirmRunning, App: spec.Name, Confirmations: []api.Confirmation{}}
+	}
+	j.mu.Unlock()
+	if !already {
+		s.confirmWG.Add(1)
+	}
+	s.mu.Unlock()
+	if already {
+		writeJSON(w, http.StatusOK, j.snapshot())
+		return
+	}
+	cConfirms.Inc()
+	go s.runConfirm(j, spec)
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// runConfirm is the async replay worker for one job.
+func (s *Server) runConfirm(j *job, spec apps.Spec) {
+	defer s.confirmWG.Done()
+	sp := obs.Start("serve.confirm", obs.String("job", j.id), obs.String("app", spec.Name))
+	defer sp.End()
+	build := apps.ReplayBuilder(spec, s.cfg.ReplayScale)
+	art, _ := j.artifact()
+	for _, rm := range art.Races {
+		conf, err := replay.Confirm(build, rm.UseMethod, replay.Options{})
+		if err != nil {
+			j.update(func() {
+				j.confirm.State = api.ConfirmFailed
+				j.confirm.Error = err.Error()
+			})
+			s.persistConfirm(j)
+			return
+		}
+		j.update(func() {
+			j.confirm.Checked++
+			if conf != nil {
+				j.confirm.Confirmations = append(j.confirm.Confirmations, api.Confirmation{
+					Site:      rm.Site,
+					UseMethod: rm.UseMethod,
+					Seed:      conf.Seed,
+					DelayMs:   conf.DelayMs,
+					Crash:     conf.Crash.Err.Error(),
+				})
+			}
+		})
+	}
+	annotated := annotateEvidence(art.Evidence, j.snapshot().Confirm.Confirmations)
+	j.update(func() {
+		j.confirm.State = api.ConfirmDone
+		if annotated != nil {
+			j.evidenceConfirmed = annotated
+		}
+	})
+	s.persistConfirm(j)
+}
+
+// annotateEvidence re-renders an evidence bundle with Confirmation
+// records attached to the matching race sites. The pristine bytes are
+// left alone (and returned nil) when nothing was confirmed or the
+// bundle does not parse, so unconfirmed evidence stays byte-identical
+// to the batch CLI's.
+func annotateEvidence(evidence []byte, confs []api.Confirmation) []byte {
+	if len(confs) == 0 {
+		return nil
+	}
+	b, err := provenance.ReadBundle(bytes.NewReader(evidence))
+	if err != nil {
+		return nil
+	}
+	bySite := make(map[string]api.Confirmation, len(confs))
+	for _, c := range confs {
+		bySite[c.Site] = c
+	}
+	for i := range b.Inputs {
+		for k := range b.Inputs[i].Races {
+			re := &b.Inputs[i].Races[k]
+			if c, ok := bySite[re.Site]; ok {
+				re.Confirmed = &provenance.ConfirmationRecord{
+					Seed:    c.Seed,
+					DelayMs: c.DelayMs,
+					Crash:   c.Crash,
+				}
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}
