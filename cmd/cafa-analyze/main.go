@@ -129,6 +129,7 @@ type config struct {
 	explain   bool
 	context   bool
 	asJSON    bool
+	stream    bool
 	progress  bool
 	metrics   bool
 	traceOut  string
@@ -172,6 +173,7 @@ func parseArgs(args []string) (*config, error) {
 		explain   = fs.Bool("explain", false, "for each race, show why the conventional model hides it")
 		context   = fs.Bool("context", false, "print calling contexts for each race")
 		asJSON    = fs.Bool("json", false, "emit the race report as JSON")
+		stream    = fs.Bool("stream", false, "analyze each trace while decoding it, in bounded memory (incompatible with flags that need the materialized trace)")
 		progress  = fs.Bool("progress", false, "stream per-trace progress lines to stderr in batch mode")
 		metrics   = fs.Bool("metrics", false, "append the obs metric summary table to the report")
 		traceOut  = fs.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file")
@@ -200,13 +202,23 @@ func parseArgs(args []string) (*config, error) {
 	if err != nil {
 		return nil, err
 	}
+	if *stream {
+		switch {
+		case *explain:
+			return nil, fmt.Errorf("-stream discards trace entries; -explain needs them (drop one)")
+		case *naive:
+			return nil, fmt.Errorf("-stream discards trace entries; -naive needs them (drop one)")
+		case *evidenceOut != "" || *dotOut != "" || *htmlOut != "" || *diff != "" || *debugAddr != "":
+			return nil, fmt.Errorf("-stream discards trace entries; the evidence flags (-evidence-out, -dot-out, -html-out, -diff, -debug-addr) need them (drop one)")
+		}
+	}
 	return &config{
 		inputs:  inputs,
 		confirm: *confirm,
 		workers: *workers,
 		naive:   *naive, keepDups: *keepDups,
 		noGuard: *noGuard, noAlloc: *noAlloc, noLocks: *noLocks,
-		stats: *stats, explain: *explain, context: *context, asJSON: *asJSON,
+		stats: *stats, explain: *explain, context: *context, asJSON: *asJSON, stream: *stream,
 		progress: *progress, metrics: *metrics, traceOut: *traceOut, debugAddr: *debugAddr,
 		evidenceOut: *evidenceOut, dotOut: *dotOut, htmlOut: *htmlOut, diff: *diff,
 	}, nil
@@ -396,6 +408,16 @@ func analyzeFiles(cfg *config) ([]*report.FileReport, error) {
 		path := cfg.inputs[i]
 		sp := obs.Start("analyze", obs.String("file", path), obs.Int("idx", i))
 		defer sp.End()
+		if cfg.stream {
+			res, err := streamTrace(p, path, sp)
+			if err != nil {
+				sp.SetAttr(obs.String("error", err.Error()))
+				errs[i] = err
+				return
+			}
+			reports[i] = &report.FileReport{File: path, Trace: res.Trace, Result: res}
+			return
+		}
 		spDec := sp.Child("decode")
 		tr, err := loadTrace(path)
 		spDec.End()
@@ -423,6 +445,23 @@ func analyzeFiles(cfg *config) ([]*report.FileReport, error) {
 		}
 	}
 	return reports, nil
+}
+
+// streamTrace analyzes path through the streaming pipeline: decoding,
+// validation, and the per-event passes advance together, so the trace
+// entries are never materialized. The result is identical to the
+// batch path for the same file.
+func streamTrace(p *analysis.Pipeline, path string, sp *obs.Span) (*analysis.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, &inputError{path: path, class: classIO, err: err}
+	}
+	defer f.Close()
+	res, err := p.AnalyzeStreamSpanned(f, sp)
+	if err != nil {
+		return nil, &inputError{path: path, class: classDecode, err: err}
+	}
+	return res, nil
 }
 
 func loadTrace(path string) (*trace.Trace, error) {
@@ -454,8 +493,8 @@ func emitText(w io.Writer, cfg *config, reports []*report.FileReport) error {
 		for _, r := range res.Races {
 			fmt.Fprintf(w, "  [%s] %s\n", r.Class, r.Describe(tr))
 			if cfg.context {
-				fmt.Fprintf(w, "    use context:  %s\n", detect.FormatStack(tr, detect.CallStack(tr, r.Use.DerefIdx)))
-				fmt.Fprintf(w, "    free context: %s\n", detect.FormatStack(tr, detect.CallStack(tr, r.Free.Idx)))
+				fmt.Fprintf(w, "    use context:  %s\n", detect.FormatStack(tr, res.StackAt(r.Use.DerefIdx)))
+				fmt.Fprintf(w, "    free context: %s\n", detect.FormatStack(tr, res.StackAt(r.Free.Idx)))
 			}
 			if cfg.explain {
 				v := provenance.ExplainConv(res.Conventional, r.Use.ReadIdx, r.Free.Idx)

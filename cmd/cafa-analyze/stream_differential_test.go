@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cafa/internal/synth"
+)
+
+// writeSynthFixtures records synthetic traces (one binary, one text)
+// stressing shapes the app models keep small.
+func writeSynthFixtures(t *testing.T, dir string) []string {
+	t.Helper()
+	var paths []string
+	for i, cfg := range []synth.Config{
+		{Chain: 4, EventsPer: 8, FreeThreads: 4},
+		{Chain: 3, EventsPer: 6, FreeThreads: 3, Burst: 4, BurstEvents: 24},
+	} {
+		tr := synth.Trace(cfg)
+		p := filepath.Join(dir, fmt.Sprintf("synth%d.trace", i))
+		f, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			err = tr.Encode(f)
+		} else {
+			err = tr.EncodeText(f)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	return paths
+}
+
+// TestStreamDifferential is the streaming acceptance proof: on every
+// app in the ten-app suite plus the synthetic shapes, `cafa-analyze
+// -stream` must emit byte-identical output to the batch path for the
+// text report, -stats, -context, and -json — streaming changes peak
+// memory, never a single output byte.
+func TestStreamDifferential(t *testing.T) {
+	dir := t.TempDir()
+	paths := writeAppFixtures(t, dir)
+	paths = append(paths, writeSynthFixtures(t, dir)...)
+
+	modes := [][]string{
+		nil,
+		{"-stats"},
+		{"-context"},
+		{"-json"},
+		{"-stats", "-context", "-json"},
+	}
+	for _, path := range paths {
+		base := strings.TrimSuffix(filepath.Base(path), ".trace")
+		t.Run(base, func(t *testing.T) {
+			for _, mode := range modes {
+				var batch, stream bytes.Buffer
+				if err := run(append(append([]string{}, mode...), path), &batch, io.Discard); err != nil {
+					t.Fatalf("batch %v: %v", mode, err)
+				}
+				if err := run(append(append([]string{"-stream"}, mode...), path), &stream, io.Discard); err != nil {
+					t.Fatalf("stream %v: %v", mode, err)
+				}
+				if !bytes.Equal(batch.Bytes(), stream.Bytes()) {
+					t.Errorf("%v: output diverges:\n%s", mode, firstDiff(batch.Bytes(), stream.Bytes()))
+				}
+			}
+		})
+	}
+
+	// Batch-of-many parity: all inputs in one invocation, with the
+	// aggregate section, under parallelism.
+	var batch, stream bytes.Buffer
+	if err := run(append([]string{"-j", "4", "-stats"}, paths...), &batch, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-stream", "-j", "4", "-stats"}, paths...), &stream, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(batch.Bytes(), stream.Bytes()) {
+		t.Errorf("aggregate output diverges:\n%s", firstDiff(batch.Bytes(), stream.Bytes()))
+	}
+}
+
+// TestStreamObsPassivity: enabling the obs layer during a streaming
+// run (here via -trace-out) must not change a byte of the report —
+// the streaming gauges and counters are observers, not participants.
+func TestStreamObsPassivity(t *testing.T) {
+	var plain, observed bytes.Buffer
+	traceOut := filepath.Join(t.TempDir(), "events.json")
+	if err := run([]string{"-stream", "-json", "testdata/zxing.trace"}, &plain, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-stream", "-json", "-trace-out", traceOut, "testdata/zxing.trace"}, &observed, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), observed.Bytes()) {
+		t.Error("obs enablement changed the streaming report")
+	}
+	if st, err := os.Stat(traceOut); err != nil || st.Size() == 0 {
+		t.Errorf("trace-out not written: %v", err)
+	}
+}
+
+// TestStreamFlagConflicts: flags that need the materialized trace are
+// rejected up front in streaming mode.
+func TestStreamFlagConflicts(t *testing.T) {
+	for _, args := range [][]string{
+		{"-stream", "-explain", "testdata/zxing.trace"},
+		{"-stream", "-naive", "testdata/zxing.trace"},
+		{"-stream", "-evidence-out", "x.json", "testdata/zxing.trace"},
+		{"-stream", "-dot-out", "x.dot", "testdata/zxing.trace"},
+		{"-stream", "-html-out", "x.html", "testdata/zxing.trace"},
+		{"-stream", "-diff", "x.json", "testdata/zxing.trace"},
+		{"-stream", "-debug-addr", "127.0.0.1:0", "testdata/zxing.trace"},
+	} {
+		err := run(args, io.Discard, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), "-stream") {
+			t.Errorf("%v: want a -stream conflict error, got %v", args, err)
+		}
+	}
+	// -confirm and -metrics work fine with -stream (no entries needed).
+	var buf bytes.Buffer
+	if err := run([]string{"-stream", "-confirm", "-metrics", "testdata/zxing.trace"}, &buf, io.Discard); err != nil {
+		t.Fatalf("-stream -confirm -metrics: %v", err)
+	}
+	if !strings.Contains(buf.String(), "replay confirmation") {
+		t.Error("confirm section missing in streaming mode")
+	}
+}
+
+// TestStreamErrorReporting: streaming failures carry the same path
+// tagging and exit-code classes as batch decoding.
+func TestStreamErrorReporting(t *testing.T) {
+	dir := t.TempDir()
+	missing := filepath.Join(dir, "nope.trace")
+	err := run([]string{"-stream", missing}, io.Discard, io.Discard)
+	if err == nil || exitCode(err) != 2 {
+		t.Errorf("missing input: err %v (exit %d), want exit 2", err, exitCode(err))
+	}
+
+	garbage := filepath.Join(dir, "garbage.trace")
+	if err := os.WriteFile(garbage, []byte("CAFA-TEXT 1\nnot a trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-stream", garbage}, io.Discard, io.Discard)
+	if err == nil || exitCode(err) != 1 || !strings.Contains(err.Error(), garbage) {
+		t.Errorf("garbage input: err %v (exit %d), want exit 1 naming the path", err, exitCode(err))
+	}
+}

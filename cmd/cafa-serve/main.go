@@ -9,7 +9,7 @@
 //
 //	cafa-serve [-addr :7420] [-workers N] [-queue 64]
 //	           [-job-timeout 2m] [-cache-mb 256] [-max-body-mb 64]
-//	           [-results-dir DIR] [-replay-scale 100]
+//	           [-results-dir DIR] [-replay-scale 100] [-stream]
 //	cafa-serve -selftest     # in-process end-to-end smoke run
 //
 // SIGINT/SIGTERM drain gracefully: intake stops, queued and running
@@ -44,6 +44,7 @@ func main() {
 		maxBodyMB   = flag.Int64("max-body-mb", 64, "largest accepted trace upload, MiB")
 		resultsDir  = flag.String("results-dir", "", "persist every finished job's artifacts under DIR/<job-id>/")
 		replayScale = flag.Int("replay-scale", 100, "app filler divisor for confirm replays")
+		stream      = flag.Bool("stream", false, "analyze uploads while the request body arrives (chunked transfer friendly)")
 		drainGrace  = flag.Duration("drain-grace", 30*time.Second, "shutdown budget for in-flight jobs")
 		selftest    = flag.Bool("selftest", false, "run the in-process end-to-end smoke test and exit")
 		version     = flag.Bool("version", false, "print version and exit")
@@ -62,6 +63,7 @@ func main() {
 		MaxBodyBytes: *maxBodyMB << 20,
 		ResultsDir:   *resultsDir,
 		ReplayScale:  *replayScale,
+		Stream:       *stream,
 	}
 	if *selftest {
 		if err := runSelftest(cfg); err != nil {

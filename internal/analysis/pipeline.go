@@ -14,6 +14,7 @@ package analysis
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 
@@ -109,6 +110,22 @@ type Result struct {
 	// Evidence is the provenance collector attached to the detector
 	// run, populated when Options.Evidence is set (nil otherwise).
 	Evidence *provenance.Collector
+	// Stacks are the call stacks captured at each use's deref and each
+	// free during a streaming analysis, keyed by trace index. Nil for
+	// batch results, where report rendering reconstructs stacks from
+	// the materialized trace via detect.CallStack.
+	Stacks map[int][]trace.MethodID
+}
+
+// StackAt returns the call stack at trace index idx: the stack
+// captured during streaming when present, otherwise reconstructed
+// from the materialized trace. Report rendering goes through this so
+// batch and streaming runs emit identical context lines.
+func (r *Result) StackAt(idx int) []trace.MethodID {
+	if r.Stacks != nil {
+		return r.Stacks[idx]
+	}
+	return detect.CallStack(r.Trace, idx)
 }
 
 // Pipeline is a reusable analyzer. The zero value is ready to use;
@@ -274,6 +291,40 @@ func (p *Pipeline) AnalyzeAll(traces []*trace.Trace) ([]*Result, error) {
 // Analyze is the one-shot convenience form of Pipeline.Analyze.
 func Analyze(tr *trace.Trace, opts Options) (*Result, error) {
 	return New(opts).Analyze(tr)
+}
+
+// Source is one input to AnalyzeSources: a materialized trace (batch
+// mode) or a reader whose entries are streamed (Reader non-nil wins).
+type Source struct {
+	Trace  *trace.Trace
+	Reader io.Reader
+}
+
+// AnalyzeSources analyzes a mixed batch of materialized and streamed
+// inputs under the same bounded worker pool as AnalyzeAll, returning
+// results in input order. Batch and streamed inputs produce identical
+// results for identical traces; the mode only changes peak memory.
+func (p *Pipeline) AnalyzeSources(srcs []Source) ([]*Result, error) {
+	results := make([]*Result, len(srcs))
+	errs := make([]error, len(srcs))
+	cBatchTraces.Add(int64(len(srcs)))
+	ForEach(p.opts.Workers, len(srcs), func(i int) {
+		if srcs[i].Reader != nil {
+			sp := obs.Start("pipeline.analyze.stream", obs.Int("idx", i))
+			results[i], errs[i] = p.AnalyzeStreamSpanned(srcs[i].Reader, sp)
+			sp.End()
+			return
+		}
+		sp := obs.Start("pipeline.analyze", obs.Int("idx", i))
+		results[i], errs[i] = p.AnalyzeSpanned(srcs[i].Trace, sp)
+		sp.End()
+	})
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("analysis: trace %d: %w", i, err)
+		}
+	}
+	return results, nil
 }
 
 // ForEach calls fn(i) for every i in [0, n) from up to `workers`

@@ -1,0 +1,258 @@
+package analysis
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"cafa/internal/apps"
+	"cafa/internal/detect"
+	"cafa/internal/synth"
+	"cafa/internal/trace"
+)
+
+// encodeBoth returns the binary and text encodings of tr.
+func encodeBoth(t testing.TB, tr *trace.Trace) (bin, txt []byte) {
+	t.Helper()
+	var b, x bytes.Buffer
+	if err := tr.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.EncodeText(&x); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes(), x.Bytes()
+}
+
+// assertStreamMatchesBatch runs the streaming pipeline over both
+// encodings of tr and requires bit-identical results versus batch
+// Analyze, including the captured call stacks versus the batch-mode
+// reconstruction.
+func assertStreamMatchesBatch(t *testing.T, tr *trace.Trace, opts Options) {
+	t.Helper()
+	want, err := Analyze(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, txt := encodeBoth(t, tr)
+	for name, enc := range map[string][]byte{"binary": bin, "text": txt} {
+		p := New(opts)
+		got, err := p.AnalyzeStream(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got.Races, want.Races) {
+			t.Errorf("%s: races differ:\n  stream: %+v\n  batch:  %+v", name, got.Races, want.Races)
+		}
+		if got.Stats != want.Stats {
+			t.Errorf("%s: detect stats differ: stream %+v, batch %+v", name, got.Stats, want.Stats)
+		}
+		if got.GraphStats != want.GraphStats {
+			t.Errorf("%s: graph stats differ: stream %+v, batch %+v", name, got.GraphStats, want.GraphStats)
+		}
+		if got.ConvStats != want.ConvStats {
+			t.Errorf("%s: conventional stats differ: stream %+v, batch %+v", name, got.ConvStats, want.ConvStats)
+		}
+		if !reflect.DeepEqual(got.Naive, want.Naive) {
+			t.Errorf("%s: naive baseline differs", name)
+		}
+		if got.Trace.Len() != tr.Len() {
+			t.Errorf("%s: Len() = %d, want %d", name, got.Trace.Len(), tr.Len())
+		}
+		// Captured stacks must match what batch rendering would
+		// reconstruct at every index report rendering queries.
+		for _, r := range want.Races {
+			for _, idx := range []int{r.Use.DerefIdx, r.Free.Idx} {
+				ws := detect.CallStack(tr, idx)
+				gs, ok := got.Stacks[idx]
+				if !ok {
+					t.Errorf("%s: no captured stack for idx %d", name, idx)
+					continue
+				}
+				if !reflect.DeepEqual(gs, ws) && !(len(gs) == 0 && len(ws) == 0) {
+					t.Errorf("%s: stack at %d: stream %v, batch %v", name, idx, gs, ws)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamMatchesBatchOnApps: streaming analysis over both codecs
+// is bit-identical to batch analysis on every app scenario.
+func TestStreamMatchesBatchOnApps(t *testing.T) {
+	for _, spec := range apps.Registry {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			assertStreamMatchesBatch(t, appTrace(t, spec), Options{})
+		})
+	}
+}
+
+// TestStreamMatchesBatchOnSynth covers the synthetic shapes the app
+// models keep small: chained fixpoints, wide bursts, lock traffic.
+func TestStreamMatchesBatchOnSynth(t *testing.T) {
+	for _, cfg := range []synth.Config{
+		{Chain: 1, EventsPer: 1},
+		{Chain: 4, EventsPer: 8, FreeThreads: 4},
+		{Chain: 3, EventsPer: 6, FreeThreads: 3, Burst: 4, BurstEvents: 24},
+	} {
+		assertStreamMatchesBatch(t, synth.Trace(cfg), Options{})
+	}
+}
+
+// TestStreamRetainsForEvidenceAndNaive: Evidence/Naive force entry
+// retention, and the retained trace supports provenance identically.
+func TestStreamRetainsForEvidenceAndNaive(t *testing.T) {
+	tr := synth.Trace(synth.Config{Chain: 3, EventsPer: 4, FreeThreads: 3})
+	for _, opts := range []Options{{Naive: true}, {Evidence: true}} {
+		p := New(opts)
+		sa := p.NewStream(headerOf(tr))
+		if !sa.Retaining() {
+			t.Fatalf("opts %+v: expected retention", opts)
+		}
+		for _, e := range tr.Entries {
+			if err := sa.Consume(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := sa.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Analyze(tr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Races, want.Races) {
+			t.Errorf("opts %+v: races differ", opts)
+		}
+		if !reflect.DeepEqual(got.Naive, want.Naive) {
+			t.Errorf("opts %+v: naive differs", opts)
+		}
+		if opts.Evidence {
+			if got.Evidence == nil {
+				t.Fatal("no evidence collector")
+			}
+			a := got.Evidence.Evidence()
+			b := want.Evidence.Evidence()
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("evidence records differ:\n  stream: %+v\n  batch:  %+v", a, b)
+			}
+		}
+		if len(got.Trace.Entries) != len(tr.Entries) {
+			t.Errorf("opts %+v: retained %d entries, want %d", opts, len(got.Trace.Entries), len(tr.Entries))
+		}
+	}
+	// Without those options the entry stream is discarded.
+	sa := New(Options{}).NewStream(headerOf(tr))
+	if sa.Retaining() {
+		t.Fatal("plain options should not retain")
+	}
+	for _, e := range tr.Entries {
+		if err := sa.Consume(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := sa.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace.Entries) != 0 {
+		t.Errorf("plain streaming retained %d entries", len(res.Trace.Entries))
+	}
+	if res.Trace.Len() != len(tr.Entries) {
+		t.Errorf("Len() = %d, want %d", res.Trace.Len(), len(tr.Entries))
+	}
+}
+
+// headerOf clones tr's tables without entries, as a stream decoder
+// would produce, with the declared entry count set.
+func headerOf(tr *trace.Trace) *trace.Trace {
+	hdr := trace.New()
+	for id, info := range tr.Tasks {
+		hdr.Tasks[id] = info
+	}
+	for id, n := range tr.Fields {
+		hdr.Fields[id] = n
+	}
+	for id, n := range tr.Methods {
+		hdr.Methods[id] = n
+	}
+	for id, n := range tr.Queues {
+		hdr.Queues[id] = n
+	}
+	hdr.StreamLen = len(tr.Entries)
+	return hdr
+}
+
+// TestStreamTruncationDetected: a stream that ends before the declared
+// entry count is an error, not a silent partial result.
+func TestStreamTruncationDetected(t *testing.T) {
+	tr := synth.Trace(synth.Config{Chain: 2, EventsPer: 3, FreeThreads: 2})
+	sa := New(Options{}).NewStream(headerOf(tr))
+	for _, e := range tr.Entries[:len(tr.Entries)-5] {
+		if err := sa.Consume(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sa.Finish(); err == nil {
+		t.Fatal("want error for truncated stream")
+	}
+}
+
+// TestAnalyzeSourcesMixed: batch and streamed inputs mix in one call
+// and come back in input order with identical results.
+func TestAnalyzeSourcesMixed(t *testing.T) {
+	var traces []*trace.Trace
+	for _, spec := range apps.Registry[:3] {
+		traces = append(traces, appTrace(t, spec))
+	}
+	bin0, _ := encodeBoth(t, traces[0])
+	_, txt2 := encodeBoth(t, traces[2])
+	srcs := []Source{
+		{Reader: bytes.NewReader(bin0)},
+		{Trace: traces[1]},
+		{Reader: bytes.NewReader(txt2)},
+	}
+	p := New(Options{Workers: 2})
+	results, err := p.AnalyzeSources(srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, res := range results {
+		want, err := Analyze(traces[i], Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Races, want.Races) || res.Stats != want.Stats {
+			t.Errorf("source %d diverges from batch", i)
+		}
+	}
+
+	// A malformed streamed input (duplicate begin) fails its slot but
+	// not the others.
+	bad := trace.New()
+	bad.Tasks[1] = trace.TaskInfo{ID: 1, Kind: trace.KindThread, Name: "T"}
+	bad.Append(trace.Entry{Task: 1, Op: trace.OpBegin})
+	bad.Append(trace.Entry{Task: 1, Op: trace.OpBegin, Time: 1})
+	var bb bytes.Buffer
+	if err := bad.Encode(&bb); err != nil {
+		t.Fatal(err)
+	}
+	results, err = p.AnalyzeSources([]Source{
+		{Trace: traces[0]},
+		{Reader: bytes.NewReader(bb.Bytes())},
+	})
+	if err == nil {
+		t.Fatal("want error for malformed streamed trace")
+	}
+	if results[0] == nil {
+		t.Error("good trace should still have a result")
+	}
+	if results[1] != nil {
+		t.Error("malformed trace should have a nil result")
+	}
+}

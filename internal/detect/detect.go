@@ -265,8 +265,25 @@ func Detect(in Input, opts Options) (*Result, error) {
 	if in.Trace == nil || in.Graph == nil {
 		return nil, fmt.Errorf("detect: trace and graph are required")
 	}
+	x := NewExtractor(in.DerefSources, false)
 	tr := in.Trace
-	ex := extract(tr, in.DerefSources)
+	for i := range tr.Entries {
+		x.Consume(i, &tr.Entries[i])
+	}
+	return DetectExtracted(in, x, opts)
+}
+
+// DetectExtracted runs the detector over a finished extraction — the
+// streaming entry point, where the Extractor consumed the entries as
+// they arrived and in.Trace may be a header-only trace (task tables
+// but no Entries). Results are identical to Detect on the
+// materialized trace.
+func DetectExtracted(in Input, x *Extractor, opts Options) (*Result, error) {
+	if in.Trace == nil || in.Graph == nil {
+		return nil, fmt.Errorf("detect: trace and graph are required")
+	}
+	tr := in.Trace
+	ex := x.ex
 	res := &Result{}
 	res.Stats.Uses = len(ex.uses)
 	res.Stats.Frees = len(ex.frees)
@@ -285,12 +302,12 @@ func Detect(in Input, opts Options) (*Result, error) {
 				continue // program order within one task
 			}
 			res.Stats.Candidates++
-			if !in.Graph.Concurrent(u.ReadIdx, f.Idx) {
+			if !in.Graph.ConcurrentAt(u.ReadIdx, u.Task, f.Idx, f.Task) {
 				res.Stats.FilteredOrdered++
 				if col != nil {
 					col.Pruned(u, f, PruneWitness{
 						Stage:         PruneOrdered,
-						UseBeforeFree: in.Graph.Ordered(u.ReadIdx, f.Idx),
+						UseBeforeFree: in.Graph.OrderedAt(u.ReadIdx, u.Task, f.Idx, f.Task),
 					})
 				}
 				continue
@@ -351,7 +368,7 @@ func Detect(in Input, opts Options) (*Result, error) {
 			r := Race{Use: u, Free: f}
 			if sameLooper {
 				r.Class = ClassIntraThread
-			} else if in.Conventional != nil && in.Conventional.Concurrent(u.ReadIdx, f.Idx) {
+			} else if in.Conventional != nil && in.Conventional.ConcurrentAt(u.ReadIdx, u.Task, f.Idx, f.Task) {
 				r.Class = ClassConventional
 			} else {
 				r.Class = ClassInterThread

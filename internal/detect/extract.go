@@ -10,6 +10,7 @@ package detect
 
 import (
 	"cafa/internal/dataflow"
+	"cafa/internal/obs"
 	"cafa/internal/trace"
 )
 
@@ -88,93 +89,196 @@ type siteKey struct {
 	pc     trace.PC
 }
 
+// Streaming-path observability (internal/obs): reads retire from the
+// extractor's frontier either by eviction (a later read of the same
+// object supersedes them) or by promotion to a Use; the stall
+// histogram observes how many entries each read stayed pinned — the
+// retirement lag that bounds the streaming window.
+var (
+	cStreamRetired = obs.NewCounter("stream_retired_reads_total")
+	hStreamStall   = obs.NewHistogram("stream_read_stall_entries")
+)
+
 // extract scans the trace once. When sources is non-nil (the static
 // data-flow extension of §6.3), dereferences resolve to the exact
 // pointer-load site instead of the nearest same-object read.
 func extract(tr *trace.Trace, sources map[dataflow.Key]dataflow.Source) *extraction {
-	ex := &extraction{
-		guards:    make(map[trace.TaskID][]guard),
-		allocSeqs: make(map[taskVar][]int),
-	}
-	reads := make(map[trace.TaskID]map[trace.ObjID]lastRead)
-	readsBySite := make(map[trace.TaskID]map[siteKey]lastRead)
-	usedReads := make(map[int]bool) // read idx already promoted to a Use
-
+	x := NewExtractor(sources, false)
 	for i := range tr.Entries {
-		e := &tr.Entries[i]
-		switch e.Op {
-		case trace.OpPtrRead:
-			m := reads[e.Task]
-			if m == nil {
-				m = make(map[trace.ObjID]lastRead)
-				reads[e.Task] = m
-			}
-			m[e.Value] = lastRead{idx: i, vr: e.Var, pc: e.PC, method: e.Method}
-			if sources != nil {
-				sm := readsBySite[e.Task]
-				if sm == nil {
-					sm = make(map[siteKey]lastRead)
-					readsBySite[e.Task] = sm
-				}
-				sm[siteKey{e.Method, e.PC}] = lastRead{idx: i, vr: e.Var, pc: e.PC, method: e.Method}
-			}
+		x.Consume(i, &tr.Entries[i])
+	}
+	return x.ex
+}
 
-		case trace.OpPtrWrite:
-			if e.Value == trace.NullObj {
-				ex.frees = append(ex.frees, Free{
-					Idx: i, Var: e.Var, Task: e.Task, Method: e.Method, PC: e.PC,
-				})
-			} else {
-				ex.allocs = append(ex.allocs, Alloc{Idx: i, Var: e.Var, Task: e.Task})
-				tv := taskVar{e.Task, e.Var}
-				ex.allocSeqs[tv] = append(ex.allocSeqs[tv], i)
-			}
+// Extractor is the streaming form of the extraction scan: entries are
+// consumed one at a time and discarded; only the compact use / free /
+// alloc / guard records and the per-task read frontier are retained.
+// In streaming mode it additionally captures the call stack live at
+// each use and free (a streamed trace cannot reconstruct them later
+// the way CallStack does) and emits frontier-retirement metrics.
+type Extractor struct {
+	ex          *extraction
+	sources     map[dataflow.Key]dataflow.Source
+	reads       map[trace.TaskID]map[trace.ObjID]lastRead
+	readsBySite map[trace.TaskID]map[siteKey]lastRead
+	usedReads   map[int]bool // read idx already promoted to a Use
 
-		case trace.OpDeref:
-			var lr lastRead
-			var ok bool
-			if sources != nil {
-				src, known := sources[dataflow.Key{Method: e.Method, PC: e.PC}]
-				switch {
-				case known && src.Kind == dataflow.SrcFresh:
-					// Freshly allocated object: never a use.
-					continue
-				case known && src.Kind == dataflow.SrcLoad:
-					// LoadMethod 0 means the load is in the deref's own
-					// method; otherwise the interprocedural resolution
-					// placed it in a caller (same task, earlier frame).
-					lm := src.LoadMethod
-					if lm == 0 {
-						lm = e.Method
-					}
-					lr, ok = readsBySite[e.Task][siteKey{lm, src.LoadPC}]
-				default:
-					lr, ok = reads[e.Task][e.Value]
-				}
+	streaming  bool
+	liveStacks map[trace.TaskID][]trace.MethodID
+	stacks     map[int][]trace.MethodID
+	live       int // unpromoted pinned reads (the frontier window)
+}
+
+// NewExtractor returns an Extractor. streaming enables call-stack
+// capture at uses/frees and frontier metrics; the batch extract path
+// leaves it off and reconstructs stacks from the trace on demand.
+func NewExtractor(sources map[dataflow.Key]dataflow.Source, streaming bool) *Extractor {
+	x := &Extractor{
+		ex: &extraction{
+			guards:    make(map[trace.TaskID][]guard),
+			allocSeqs: make(map[taskVar][]int),
+		},
+		sources:   sources,
+		reads:     make(map[trace.TaskID]map[trace.ObjID]lastRead),
+		usedReads: make(map[int]bool),
+		streaming: streaming,
+	}
+	if sources != nil {
+		x.readsBySite = make(map[trace.TaskID]map[siteKey]lastRead)
+	}
+	if streaming {
+		x.liveStacks = make(map[trace.TaskID][]trace.MethodID)
+		x.stacks = make(map[int][]trace.MethodID)
+	}
+	return x
+}
+
+// retire records one read leaving the frontier at entry i.
+func (x *Extractor) retire(i, readIdx int) {
+	cStreamRetired.Inc()
+	hStreamStall.Observe(int64(i - readIdx))
+}
+
+// captureStack snapshots the live calling context of task at entry i,
+// applying CallStack's innermost-frame rule.
+func (x *Extractor) captureStack(i int, task trace.TaskID, m trace.MethodID) {
+	live := x.liveStacks[task]
+	stack := make([]trace.MethodID, len(live), len(live)+1)
+	copy(stack, live)
+	if m != 0 && (len(stack) == 0 || stack[len(stack)-1] != m) {
+		stack = append(stack, m)
+	}
+	x.stacks[i] = stack
+}
+
+// Live returns the number of unpromoted reads currently pinned — the
+// frontier window size.
+func (x *Extractor) Live() int { return x.live }
+
+// Stacks returns the captured per-use/per-free call stacks keyed by
+// trace index (streaming mode only; nil otherwise).
+func (x *Extractor) Stacks() map[int][]trace.MethodID { return x.stacks }
+
+// Consume processes entry i. Entries must arrive in trace order.
+func (x *Extractor) Consume(i int, e *trace.Entry) {
+	ex := x.ex
+	switch e.Op {
+	case trace.OpPtrRead:
+		m := x.reads[e.Task]
+		if m == nil {
+			m = make(map[trace.ObjID]lastRead)
+			x.reads[e.Task] = m
+		}
+		if x.streaming {
+			if old, had := m[e.Value]; had && !x.usedReads[old.idx] {
+				x.retire(i, old.idx) // evicted by a newer read of the same object
 			} else {
-				lr, ok = reads[e.Task][e.Value]
+				x.live++
 			}
-			if !ok || usedReads[lr.idx] {
-				continue
+		}
+		m[e.Value] = lastRead{idx: i, vr: e.Var, pc: e.PC, method: e.Method}
+		if x.sources != nil {
+			sm := x.readsBySite[e.Task]
+			if sm == nil {
+				sm = make(map[siteKey]lastRead)
+				x.readsBySite[e.Task] = sm
 			}
-			usedReads[lr.idx] = true
-			ex.uses = append(ex.uses, Use{
-				ReadIdx: lr.idx, DerefIdx: i, Var: lr.vr, Obj: e.Value,
-				Task: e.Task, Method: e.Method, ReadPC: lr.pc, DerefPC: e.PC,
+			sm[siteKey{e.Method, e.PC}] = lastRead{idx: i, vr: e.Var, pc: e.PC, method: e.Method}
+		}
+
+	case trace.OpPtrWrite:
+		if e.Value == trace.NullObj {
+			ex.frees = append(ex.frees, Free{
+				Idx: i, Var: e.Var, Task: e.Task, Method: e.Method, PC: e.PC,
 			})
+			if x.streaming {
+				x.captureStack(i, e.Task, e.Method)
+			}
+		} else {
+			ex.allocs = append(ex.allocs, Alloc{Idx: i, Var: e.Var, Task: e.Task})
+			tv := taskVar{e.Task, e.Var}
+			ex.allocSeqs[tv] = append(ex.allocSeqs[tv], i)
+		}
 
-		case trace.OpBranch:
-			g := guard{
-				idx: i, kind: e.Branch, pc: e.PC, target: e.TargetPC, method: e.Method,
+	case trace.OpDeref:
+		var lr lastRead
+		var ok bool
+		if x.sources != nil {
+			src, known := x.sources[dataflow.Key{Method: e.Method, PC: e.PC}]
+			switch {
+			case known && src.Kind == dataflow.SrcFresh:
+				// Freshly allocated object: never a use.
+				return
+			case known && src.Kind == dataflow.SrcLoad:
+				// LoadMethod 0 means the load is in the deref's own
+				// method; otherwise the interprocedural resolution
+				// placed it in a caller (same task, earlier frame).
+				lm := src.LoadMethod
+				if lm == 0 {
+					lm = e.Method
+				}
+				lr, ok = x.readsBySite[e.Task][siteKey{lm, src.LoadPC}]
+			default:
+				lr, ok = x.reads[e.Task][e.Value]
 			}
-			if lr, ok := reads[e.Task][e.Value]; ok {
-				g.vr = lr.vr
-				g.ok = true
+		} else {
+			lr, ok = x.reads[e.Task][e.Value]
+		}
+		if !ok || x.usedReads[lr.idx] {
+			return
+		}
+		x.usedReads[lr.idx] = true
+		ex.uses = append(ex.uses, Use{
+			ReadIdx: lr.idx, DerefIdx: i, Var: lr.vr, Obj: e.Value,
+			Task: e.Task, Method: e.Method, ReadPC: lr.pc, DerefPC: e.PC,
+		})
+		if x.streaming {
+			x.live--
+			x.retire(i, lr.idx) // promoted to a Use
+			x.captureStack(i, e.Task, e.Method)
+		}
+
+	case trace.OpBranch:
+		g := guard{
+			idx: i, kind: e.Branch, pc: e.PC, target: e.TargetPC, method: e.Method,
+		}
+		if lr, ok := x.reads[e.Task][e.Value]; ok {
+			g.vr = lr.vr
+			g.ok = true
+		}
+		ex.guards[e.Task] = append(ex.guards[e.Task], g)
+
+	case trace.OpInvoke:
+		if x.streaming {
+			x.liveStacks[e.Task] = append(x.liveStacks[e.Task], e.Method)
+		}
+	case trace.OpReturn:
+		if x.streaming {
+			if s := x.liveStacks[e.Task]; len(s) > 0 {
+				x.liveStacks[e.Task] = s[:len(s)-1]
 			}
-			ex.guards[e.Task] = append(ex.guards[e.Task], g)
 		}
 	}
-	return ex
 }
 
 // allocAfterIdx returns the first allocation to vr in task after

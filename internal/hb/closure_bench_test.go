@@ -18,7 +18,6 @@ func buildFull(ps *Prescan, opts Options) (*Graph, error) {
 		tr:           ps.tr,
 		opts:         opts,
 		nodes:        ps.nodes,
-		nodeAt:       ps.nodeAt,
 		taskNodes:    ps.taskNodes,
 		begins:       ps.begins,
 		ends:         ps.ends,

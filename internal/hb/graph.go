@@ -85,8 +85,6 @@ type Graph struct {
 	tr    *trace.Trace
 	opts  Options
 	nodes []node
-	// nodeAt maps entry seq -> node id (+1; 0 = none).
-	nodeAt []int32
 	// taskNodes holds node ids per task, ascending by seq.
 	taskNodes map[trace.TaskID][]int32
 	adj       [][]int32
@@ -130,7 +128,6 @@ func BuildFromScan(ps *Prescan, opts Options) (*Graph, error) {
 		tr:           ps.tr,
 		opts:         opts,
 		nodes:        ps.nodes,
-		nodeAt:       ps.nodeAt,
 		taskNodes:    ps.taskNodes,
 		begins:       ps.begins,
 		ends:         ps.ends,
@@ -384,7 +381,7 @@ type Stats struct {
 // Stats returns construction statistics.
 func (g *Graph) Stats() Stats {
 	return Stats{
-		Entries:   len(g.tr.Entries),
+		Entries:   g.tr.Len(),
 		Nodes:     len(g.nodes),
 		BaseEdges: g.baseEdges,
 		RuleEdges: g.ruleEdges,

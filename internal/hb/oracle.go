@@ -32,20 +32,25 @@ func (g *Graph) anchorBefore(t trace.TaskID, seq int) int32 {
 // the model. Within one task it is program order; across tasks it is
 // graph reachability through the nearest reduced anchors.
 func (g *Graph) Ordered(i, j int) bool {
+	return g.OrderedAt(i, g.tr.Entries[i].Task, j, g.tr.Entries[j].Task)
+}
+
+// OrderedAt is Ordered with the entries' tasks supplied by the caller
+// — the form streaming analyses use, since a streamed trace has no
+// materialized Entries to look tasks up in.
+func (g *Graph) OrderedAt(i int, ti trace.TaskID, j int, tj trace.TaskID) bool {
 	if i == j {
 		return false
 	}
-	ei := &g.tr.Entries[i]
-	ej := &g.tr.Entries[j]
-	if ei.Task == ej.Task {
+	if ti == tj {
 		return i < j
 	}
 	if i > j {
 		// Happens-before is consistent with trace order.
 		return false
 	}
-	u := g.anchorAfter(ei.Task, i)
-	v := g.anchorBefore(ej.Task, j)
+	u := g.anchorAfter(ti, i)
+	v := g.anchorBefore(tj, j)
 	if u < 0 || v < 0 {
 		return false
 	}
@@ -55,13 +60,16 @@ func (g *Graph) Ordered(i, j int) bool {
 // Concurrent reports whether two entries are unordered in both
 // directions (and belong to different tasks).
 func (g *Graph) Concurrent(i, j int) bool {
-	if i == j {
+	return g.ConcurrentAt(i, g.tr.Entries[i].Task, j, g.tr.Entries[j].Task)
+}
+
+// ConcurrentAt is Concurrent with caller-supplied tasks (see
+// OrderedAt).
+func (g *Graph) ConcurrentAt(i int, ti trace.TaskID, j int, tj trace.TaskID) bool {
+	if i == j || ti == tj {
 		return false
 	}
-	if g.tr.Entries[i].Task == g.tr.Entries[j].Task {
-		return false
-	}
-	return !g.Ordered(i, j) && !g.Ordered(j, i)
+	return !g.OrderedAt(i, ti, j, tj) && !g.OrderedAt(j, tj, i, ti)
 }
 
 // TaskOrdered reports end(t1) ≺ begin(t2): the whole of task t1

@@ -12,16 +12,27 @@ type edge struct {
 	u, v int32
 }
 
+// redOp is the compact record retained per reduced node so the
+// base-edge pass can run after a streaming scan without the entries.
+// arg holds the one cross-edge operand the node's op uses (target
+// task, monitor, listener, or transaction id).
+type redOp struct {
+	op  trace.Op
+	arg uint64
+	ext bool // OpBegin only: external event
+}
+
 // Prescan holds the trace-scan products shared by every graph variant
 // built over one trace: the reduced node set, the per-task/per-queue
 // indexes, and the base edges common to the event-driven and
-// conventional models. A Prescan is immutable after Scan returns, so
-// concurrent BuildFromScan calls may share one.
+// conventional models. A Prescan is immutable after Scan (or
+// Scanner.Finish) returns, so concurrent BuildFromScan calls may
+// share one. Its memory is O(reduced nodes), never O(trace): a
+// streaming scan retains only the redOp records, not the entries.
 type Prescan struct {
-	tr    *trace.Trace
-	nodes []node
-	// nodeAt maps entry seq -> node id (+1; 0 = none).
-	nodeAt []int32
+	tr     *trace.Trace
+	nodes  []node
+	redOps []redOp
 	// taskNodes holds node ids per task, ascending by seq.
 	taskNodes map[trace.TaskID][]int32
 
@@ -43,55 +54,92 @@ type Prescan struct {
 // model variants build from the same Prescan without rescanning the
 // trace.
 func Scan(tr *trace.Trace) (*Prescan, error) {
-	ps := &Prescan{
-		tr:           tr,
-		nodeAt:       make([]int32, len(tr.Entries)),
-		taskNodes:    make(map[trace.TaskID][]int32),
-		begins:       make(map[trace.TaskID]int32),
-		ends:         make(map[trace.TaskID]int32),
-		queueSends:   make(map[trace.QueueID][]sendInfo),
-		looperEvents: make(map[trace.TaskID][]trace.TaskID),
+	sc := NewScanner(tr)
+	for i := range tr.Entries {
+		if err := sc.Consume(&tr.Entries[i]); err != nil {
+			return nil, err
+		}
 	}
-	if err := ps.collectNodes(); err != nil {
-		return nil, err
-	}
-	ps.collectBaseEdges()
-	return ps, nil
+	return sc.Finish(), nil
 }
 
 // Trace returns the scanned trace.
 func (ps *Prescan) Trace() *trace.Trace { return ps.tr }
 
-func (ps *Prescan) collectNodes() error {
-	tr := ps.tr
-	for i := range tr.Entries {
-		e := &tr.Entries[i]
-		if !isReducedOp(e.Op) {
-			continue
-		}
-		id := int32(len(ps.nodes))
-		ps.nodes = append(ps.nodes, node{seq: i, task: e.Task})
-		ps.nodeAt[i] = id + 1
-		ps.taskNodes[e.Task] = append(ps.taskNodes[e.Task], id)
-		switch e.Op {
-		case trace.OpBegin:
-			if _, dup := ps.begins[e.Task]; dup {
-				return fmt.Errorf("hb: duplicate begin for t%d", e.Task)
-			}
-			ps.begins[e.Task] = id
-			if tr.IsEventTask(e.Task) {
-				lo := tr.LooperOf(e.Task)
-				ps.looperEvents[lo] = append(ps.looperEvents[lo], e.Task)
-			}
-		case trace.OpEnd:
-			ps.ends[e.Task] = id
-		case trace.OpSend, trace.OpSendAtFront:
-			ps.queueSends[e.Queue] = append(ps.queueSends[e.Queue], sendInfo{
-				node: id, event: e.Target, delay: e.Delay, front: e.Op == trace.OpSendAtFront,
-			})
-		}
+// Scanner is the streaming form of Scan: entries are consumed one at
+// a time and may be discarded by the caller immediately after each
+// Consume. Finish derives the base edges from the retained redOp
+// records and seals the Prescan. The header trace only supplies the
+// task table; it need not hold entries.
+type Scanner struct {
+	ps *Prescan
+	i  int
+}
+
+// NewScanner returns a Scanner over a header trace (task and name
+// tables; Entries may be empty).
+func NewScanner(header *trace.Trace) *Scanner {
+	return &Scanner{ps: &Prescan{
+		tr:           header,
+		taskNodes:    make(map[trace.TaskID][]int32),
+		begins:       make(map[trace.TaskID]int32),
+		ends:         make(map[trace.TaskID]int32),
+		queueSends:   make(map[trace.QueueID][]sendInfo),
+		looperEvents: make(map[trace.TaskID][]trace.TaskID),
+	}}
+}
+
+// Consume advances the scan by one entry. The entry is not retained.
+func (s *Scanner) Consume(e *trace.Entry) error {
+	i := s.i
+	s.i++
+	ps := s.ps
+	if !isReducedOp(e.Op) {
+		return nil
 	}
+	id := int32(len(ps.nodes))
+	ps.nodes = append(ps.nodes, node{seq: i, task: e.Task})
+	ps.taskNodes[e.Task] = append(ps.taskNodes[e.Task], id)
+	ro := redOp{op: e.Op}
+	switch e.Op {
+	case trace.OpBegin:
+		if _, dup := ps.begins[e.Task]; dup {
+			return fmt.Errorf("hb: duplicate begin for t%d", e.Task)
+		}
+		ps.begins[e.Task] = id
+		if ps.tr.IsEventTask(e.Task) {
+			lo := ps.tr.LooperOf(e.Task)
+			ps.looperEvents[lo] = append(ps.looperEvents[lo], e.Task)
+		}
+		ro.ext = e.External
+	case trace.OpEnd:
+		ps.ends[e.Task] = id
+	case trace.OpSend, trace.OpSendAtFront:
+		ps.queueSends[e.Queue] = append(ps.queueSends[e.Queue], sendInfo{
+			node: id, event: e.Target, delay: e.Delay, front: e.Op == trace.OpSendAtFront,
+		})
+		ro.arg = uint64(e.Target)
+	case trace.OpFork, trace.OpJoin:
+		ro.arg = uint64(e.Target)
+	case trace.OpNotify, trace.OpWait:
+		ro.arg = uint64(e.Monitor)
+	case trace.OpRegister, trace.OpPerform:
+		ro.arg = uint64(e.Listener)
+	case trace.OpRPCCall, trace.OpRPCHandle, trace.OpRPCReply, trace.OpRPCRet,
+		trace.OpMsgSend, trace.OpMsgRecv:
+		ro.arg = uint64(e.Txn)
+	}
+	ps.redOps = append(ps.redOps, ro)
 	return nil
+}
+
+// Entries returns how many entries have been consumed.
+func (s *Scanner) Entries() int { return s.i }
+
+// Finish derives the base edges and returns the sealed Prescan.
+func (s *Scanner) Finish() *Prescan {
+	s.ps.collectBaseEdges()
+	return s.ps
 }
 
 // addBase records u → v in the shared base-edge list. Edges always
@@ -108,8 +156,11 @@ func (ps *Prescan) addBase(u, v int32) bool {
 	return true
 }
 
+// collectBaseEdges runs over the retained redOp records (node id
+// order is entry order restricted to reduced ops, so this visits the
+// same operations in the same order as a full second pass over the
+// trace would).
 func (ps *Prescan) collectBaseEdges() {
-	tr := ps.tr
 	// Program-order chains within each task.
 	for _, ns := range ps.taskNodes {
 		for i := 1; i < len(ns); i++ {
@@ -139,67 +190,64 @@ func (ps *Prescan) collectBaseEdges() {
 		return tn
 	}
 
-	for i := range tr.Entries {
-		e := &tr.Entries[i]
-		id := ps.nodeAt[i] - 1
-		if id < 0 {
-			continue
-		}
-		switch e.Op {
+	for id32 := range ps.redOps {
+		id := int32(id32)
+		ro := &ps.redOps[id32]
+		switch ro.op {
 		case trace.OpFork:
-			if b, ok := ps.begins[e.Target]; ok {
+			if b, ok := ps.begins[trace.TaskID(ro.arg)]; ok {
 				ps.addBase(id, b)
 			}
 		case trace.OpJoin:
-			if en, ok := ps.ends[e.Target]; ok {
+			if en, ok := ps.ends[trace.TaskID(ro.arg)]; ok {
 				ps.addBase(en, id)
 			}
 		case trace.OpNotify:
-			mp := monitors[e.Monitor]
+			mp := monitors[trace.MonitorID(ro.arg)]
 			if mp == nil {
 				mp = &monPair{}
-				monitors[e.Monitor] = mp
+				monitors[trace.MonitorID(ro.arg)] = mp
 			}
 			mp.notifies = append(mp.notifies, id)
 		case trace.OpWait:
-			mp := monitors[e.Monitor]
+			mp := monitors[trace.MonitorID(ro.arg)]
 			if mp == nil {
 				mp = &monPair{}
-				monitors[e.Monitor] = mp
+				monitors[trace.MonitorID(ro.arg)] = mp
 			}
 			mp.waits = append(mp.waits, id)
 		case trace.OpSend, trace.OpSendAtFront:
-			if b, ok := ps.begins[e.Target]; ok {
+			if b, ok := ps.begins[trace.TaskID(ro.arg)]; ok {
 				ps.addBase(id, b)
 			}
 		case trace.OpRegister:
-			lp := listeners[e.Listener]
+			lp := listeners[trace.ListenerID(ro.arg)]
 			if lp == nil {
 				lp = &monPair{}
-				listeners[e.Listener] = lp
+				listeners[trace.ListenerID(ro.arg)] = lp
 			}
 			lp.notifies = append(lp.notifies, id)
 		case trace.OpPerform:
-			lp := listeners[e.Listener]
+			lp := listeners[trace.ListenerID(ro.arg)]
 			if lp == nil {
 				lp = &monPair{}
-				listeners[e.Listener] = lp
+				listeners[trace.ListenerID(ro.arg)] = lp
 			}
 			lp.waits = append(lp.waits, id)
 		case trace.OpRPCCall:
-			getTxn(txns, e.Txn).call = id
+			getTxn(txns, trace.TxnID(ro.arg)).call = id
 		case trace.OpRPCHandle:
-			getTxn(txns, e.Txn).handle = id
+			getTxn(txns, trace.TxnID(ro.arg)).handle = id
 		case trace.OpRPCReply:
-			getTxn(txns, e.Txn).reply = id
+			getTxn(txns, trace.TxnID(ro.arg)).reply = id
 		case trace.OpRPCRet:
-			getTxn(txns, e.Txn).ret = id
+			getTxn(txns, trace.TxnID(ro.arg)).ret = id
 		case trace.OpMsgSend:
-			getTxn(msgs, e.Txn).call = id
+			getTxn(msgs, trace.TxnID(ro.arg)).call = id
 		case trace.OpMsgRecv:
-			getTxn(msgs, e.Txn).handle = id
+			getTxn(msgs, trace.TxnID(ro.arg)).handle = id
 		case trace.OpBegin:
-			if e.External {
+			if ro.ext {
 				externals = append(externals, id)
 			}
 		}

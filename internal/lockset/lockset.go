@@ -12,63 +12,111 @@ import (
 	"cafa/internal/trace"
 )
 
-// Sets holds, for every entry index of a trace, the locks its task
-// held when the operation executed. Snapshots are interned: consecutive
-// operations under an unchanged lock set share one slice.
+// Sets holds held-lock snapshots by entry index. Dense mode (the
+// batch Compute path) records every entry; sparse mode (the streaming
+// Tracker) records only the entries the detector ever queries —
+// pointer accesses — so memory is O(accesses), not O(trace).
+// Snapshots are interned: consecutive operations under an unchanged
+// lock set share one slice.
 type Sets struct {
-	at [][]trace.LockID
+	at     [][]trace.LockID
+	sparse map[int][]trace.LockID
 }
 
 // Compute scans the trace once and records held-lock snapshots.
 func Compute(tr *trace.Trace) (*Sets, error) {
-	s := &Sets{at: make([][]trace.LockID, len(tr.Entries))}
-	held := make(map[trace.TaskID][]trace.LockID)
+	tk := NewTracker(len(tr.Entries))
 	for i := range tr.Entries {
-		e := &tr.Entries[i]
-		cur := held[e.Task]
-		switch e.Op {
-		case trace.OpLock:
-			for _, l := range cur {
-				if l == e.Lock {
-					return nil, fmt.Errorf("lockset: entry %d: lock l%d acquired twice by t%d", i, e.Lock, e.Task)
-				}
-			}
-			next := make([]trace.LockID, len(cur)+1)
-			copy(next, cur)
-			next[len(cur)] = e.Lock
-			sort.Slice(next, func(a, b int) bool { return next[a] < next[b] })
-			held[e.Task] = next
-			cur = next
-		case trace.OpUnlock:
-			idx := -1
-			for j, l := range cur {
-				if l == e.Lock {
-					idx = j
-					break
-				}
-			}
-			if idx < 0 {
-				return nil, fmt.Errorf("lockset: entry %d: unlock of l%d not held by t%d", i, e.Lock, e.Task)
-			}
-			next := make([]trace.LockID, 0, len(cur)-1)
-			next = append(next, cur[:idx]...)
-			next = append(next, cur[idx+1:]...)
-			held[e.Task] = next
-			cur = next
+		if err := tk.Consume(i, &tr.Entries[i]); err != nil {
+			return nil, err
 		}
-		s.at[i] = cur
 	}
-	return s, nil
+	return tk.Sets(), nil
 }
 
+// Tracker advances lock state one entry at a time. With a non-zero
+// size hint it records a dense snapshot per entry (the batch layout);
+// with hint 0 it records snapshots sparsely, only at entries whose
+// lock set the detector can later query (pointer reads and writes).
+type Tracker struct {
+	s    *Sets
+	held map[trace.TaskID][]trace.LockID
+}
+
+// NewTracker returns a Tracker. sizeHint is the entry count for dense
+// recording, or 0 for sparse (streaming) recording.
+func NewTracker(sizeHint int) *Tracker {
+	s := &Sets{}
+	if sizeHint > 0 {
+		s.at = make([][]trace.LockID, sizeHint)
+	} else {
+		s.sparse = make(map[int][]trace.LockID)
+	}
+	return &Tracker{s: s, held: make(map[trace.TaskID][]trace.LockID)}
+}
+
+// Consume processes entry i. Entries must arrive in order.
+func (tk *Tracker) Consume(i int, e *trace.Entry) error {
+	cur := tk.held[e.Task]
+	switch e.Op {
+	case trace.OpLock:
+		for _, l := range cur {
+			if l == e.Lock {
+				return fmt.Errorf("lockset: entry %d: lock l%d acquired twice by t%d", i, e.Lock, e.Task)
+			}
+		}
+		next := make([]trace.LockID, len(cur)+1)
+		copy(next, cur)
+		next[len(cur)] = e.Lock
+		sort.Slice(next, func(a, b int) bool { return next[a] < next[b] })
+		tk.held[e.Task] = next
+		cur = next
+	case trace.OpUnlock:
+		idx := -1
+		for j, l := range cur {
+			if l == e.Lock {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("lockset: entry %d: unlock of l%d not held by t%d", i, e.Lock, e.Task)
+		}
+		next := make([]trace.LockID, 0, len(cur)-1)
+		next = append(next, cur[:idx]...)
+		next = append(next, cur[idx+1:]...)
+		tk.held[e.Task] = next
+		cur = next
+	}
+	if tk.s.sparse != nil {
+		// Only pointer accesses are ever queried (use ReadIdx / free
+		// Idx are both pointer-access entries), and empty sets load as
+		// nil anyway.
+		if (e.Op == trace.OpPtrRead || e.Op == trace.OpPtrWrite) && len(cur) > 0 {
+			tk.s.sparse[i] = cur
+		}
+		return nil
+	}
+	tk.s.at[i] = cur
+	return nil
+}
+
+// Sets returns the accumulated snapshots.
+func (tk *Tracker) Sets() *Sets { return tk.s }
+
 // At returns the locks held at entry i (sorted; shared slice — do not
-// mutate).
-func (s *Sets) At(i int) []trace.LockID { return s.at[i] }
+// mutate). In sparse mode, unrecorded entries report no locks.
+func (s *Sets) At(i int) []trace.LockID {
+	if s.sparse != nil {
+		return s.sparse[i]
+	}
+	return s.at[i]
+}
 
 // Common returns the locks held at both entries i and j, sorted — the
 // witness behind a lockset prune. The result is freshly allocated.
 func (s *Sets) Common(i, j int) []trace.LockID {
-	a, b := s.at[i], s.at[j]
+	a, b := s.At(i), s.At(j)
 	var out []trace.LockID
 	x, y := 0, 0
 	for x < len(a) && y < len(b) {
@@ -90,7 +138,7 @@ func (s *Sets) Common(i, j int) []trace.LockID {
 // lock — the mutual-exclusion condition that suppresses a race
 // report.
 func (s *Sets) Intersects(i, j int) bool {
-	a, b := s.at[i], s.at[j]
+	a, b := s.At(i), s.At(j)
 	// Both are sorted; merge-scan.
 	x, y := 0, 0
 	for x < len(a) && y < len(b) {

@@ -83,11 +83,11 @@ func BuildJSON(reports []*FileReport) *ReportJSON {
 				UseTask:    tr.TaskName(r.Use.Task),
 				UseMethod:  tr.MethodName(r.Use.Method),
 				UsePC:      uint32(r.Use.DerefPC),
-				UseStack:   detect.FormatStack(tr, detect.CallStack(tr, r.Use.DerefIdx)),
+				UseStack:   detect.FormatStack(tr, res.StackAt(r.Use.DerefIdx)),
 				FreeTask:   tr.TaskName(r.Free.Task),
 				FreeMethod: tr.MethodName(r.Free.Method),
 				FreePC:     uint32(r.Free.PC),
-				FreeStack:  detect.FormatStack(tr, detect.CallStack(tr, r.Free.Idx)),
+				FreeStack:  detect.FormatStack(tr, res.StackAt(r.Free.Idx)),
 			})
 			out.ByClass[r.Class.String()]++
 		}

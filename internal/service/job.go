@@ -3,6 +3,7 @@ package service
 import (
 	"sync"
 
+	"cafa/internal/analysis"
 	"cafa/internal/service/api"
 	"cafa/internal/trace"
 )
@@ -27,6 +28,11 @@ type job struct {
 	// worker drops it once artifacts exist so finished jobs retain
 	// only their rendered outputs.
 	tr *trace.Trace
+
+	// stream holds the per-event analysis advanced during the upload
+	// (Config.Stream); the worker finalizes it instead of running the
+	// batch pipeline, then drops it with tr.
+	stream *analysis.StreamAnalyzer
 
 	// art is the rendered result (owned by the cache on hits). The
 	// confirm step stores its annotated evidence separately in

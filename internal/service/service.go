@@ -82,6 +82,14 @@ type Config struct {
 	// ReplayScale divides app filler volume when rebuilding models
 	// for confirm replays (default 100, as cafa-bench -validate).
 	ReplayScale int
+	// Stream analyzes uploads while the request body arrives: the
+	// decoder, validator, and per-event analysis passes advance
+	// together during the upload, and the worker only finalizes (graph
+	// closure + detection). The cache is still keyed on the SHA-256 of
+	// the complete body, so a re-submitted trace is recognized once
+	// the upload finishes and served from cache. Artifacts are
+	// byte-identical to the buffered path.
+	Stream bool
 	// Analysis carries the pipeline configuration. Evidence is forced
 	// on (the service always serves evidence bundles); Workers is
 	// ignored (per-job passes already fan out, job-level concurrency
@@ -310,6 +318,7 @@ func (s *Server) runJob(j *job) {
 		s.setState(j, api.StateDone, func() {
 			j.art = o.art
 			j.tr = nil
+			j.stream = nil
 			j.progress = ""
 		})
 		cJobsCompleted.Inc()
@@ -323,6 +332,7 @@ func (s *Server) failJob(j *job, err error) {
 	s.setState(j, api.StateFailed, func() {
 		j.errMsg = err.Error()
 		j.tr = nil
+		j.stream = nil
 		j.progress = ""
 	})
 	cJobsFailed.Inc()
@@ -339,12 +349,21 @@ func (s *Server) analyze(j *job) (*artifacts, error) {
 		s.testHookAnalyze(j)
 	}
 	s.stage(j, "analyze")
-	res, err := s.pipeline.AnalyzeSpanned(j.tr, sp)
+	var res *analysis.Result
+	var err error
+	if j.stream != nil {
+		// Streamed upload: the per-event passes already ran while the
+		// body arrived; only the closure and detection remain.
+		res, err = j.stream.FinishSpanned(sp)
+	} else {
+		res, err = s.pipeline.AnalyzeSpanned(j.tr, sp)
+	}
 	if err != nil {
 		return nil, err
 	}
 	s.stage(j, "render")
-	rep := &report.FileReport{File: j.name, Trace: j.tr, Result: res}
+	tr := res.Trace
+	rep := &report.FileReport{File: j.name, Trace: tr, Result: res}
 	art := &artifacts{Stats: res.Stats}
 	var buf bytes.Buffer
 	if err := report.RenderJSON(&buf, []*report.FileReport{rep}); err != nil {
@@ -364,8 +383,8 @@ func (s *Server) analyze(j *job) (*artifacts, error) {
 	art.Triage = append([]byte(nil), buf.Bytes()...)
 	for _, r := range res.Races {
 		art.Races = append(art.Races, raceMeta{
-			Site:      provenance.SiteString(j.tr, r.Key()),
-			UseMethod: j.tr.MethodName(r.Use.Method),
+			Site:      provenance.SiteString(tr, r.Key()),
+			UseMethod: tr.MethodName(r.Use.Method),
 		})
 	}
 	sp.SetAttr(obs.Int("races", len(art.Races)))
@@ -468,6 +487,45 @@ func (s *Server) submit(raw []byte, name, app, sha string) (*job, bool, *httpErr
 	default:
 		// Queue full: reject without blocking. The job record is
 		// withdrawn — a 429 submission never existed.
+		s.withdraw(j)
+		cJobsRejected.Inc()
+		return nil, false, &httpError{http.StatusTooManyRequests,
+			fmt.Sprintf("job queue full (%d queued); retry later", s.cfg.QueueDepth)}
+	}
+}
+
+// submitStreamed is the accept path for a streamed upload
+// (Config.Stream): the per-event analysis already ran while the body
+// arrived, so there is no decode step — just the post-upload cache
+// lookup and a non-blocking enqueue of the finalization work. On a
+// cache hit the streamed analysis is discarded unfinished.
+func (s *Server) submitStreamed(sa *analysis.StreamAnalyzer, name, app, sha string) (*job, bool, *httpError) {
+	key := sha + "|" + s.fp
+	if art, ok := s.cache.get(key); ok {
+		cCacheHits.Inc()
+		j, err := s.register(name, app, sha)
+		if err != nil {
+			return nil, false, &httpError{http.StatusServiceUnavailable, err.Error()}
+		}
+		s.setState(j, api.StateDone, func() {
+			j.cached = true
+			j.art = art
+		})
+		cJobsCompleted.Inc()
+		s.persist(j, art)
+		return j, true, nil
+	}
+	cCacheMisses.Inc()
+	j, rerr := s.register(name, app, sha)
+	if rerr != nil {
+		return nil, false, &httpError{http.StatusServiceUnavailable, rerr.Error()}
+	}
+	j.stream = sa
+	select {
+	case s.queue <- j:
+		gQueueDepth.Set(int64(len(s.queue)))
+		return j, false, nil
+	default:
 		s.withdraw(j)
 		cJobsRejected.Inc()
 		return nil, false, &httpError{http.StatusTooManyRequests,

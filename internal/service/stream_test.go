@@ -1,0 +1,171 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cafa/internal/service/api"
+	"cafa/internal/trace"
+)
+
+// TestStreamSubmitParity: a streaming server serves byte-identical
+// artifacts to a buffered one for the same trace, over both codecs.
+func TestStreamSubmitParity(t *testing.T) {
+	raw := testTrace(t, 1)
+	tr, err := trace.Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txt bytes.Buffer
+	if err := tr.EncodeText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	buffered := newTestServer(t, Config{Workers: 2})
+	streamed := newTestServer(t, Config{Workers: 2, Stream: true})
+	for name, enc := range map[string][]byte{"binary": raw, "text": txt.Bytes()} {
+		var bodies [2]map[string][]byte
+		for i, s := range []*Server{buffered, streamed} {
+			rec, j := post(t, s, enc, "?name=zxing.trace")
+			if rec.Code != http.StatusAccepted {
+				t.Fatalf("%s: submit = %d: %s", name, rec.Code, rec.Body.String())
+			}
+			j = waitDone(t, s, j.ID)
+			if j.State != api.StateDone {
+				t.Fatalf("%s: job = %+v", name, j)
+			}
+			bodies[i] = map[string][]byte{}
+			for _, path := range []string{"/report", "/evidence", "/triage"} {
+				rec := get(t, s, "/v1/jobs/"+j.ID+path)
+				if rec.Code != http.StatusOK {
+					t.Fatalf("%s%s = %d", name, path, rec.Code)
+				}
+				bodies[i][path] = append([]byte(nil), rec.Body.Bytes()...)
+			}
+		}
+		for _, path := range []string{"/report", "/evidence", "/triage"} {
+			if !bytes.Equal(bodies[0][path], bodies[1][path]) {
+				t.Errorf("%s: %s differs between buffered and streamed servers", name, path)
+			}
+		}
+	}
+}
+
+// TestStreamCacheHitAfterUpload: the cache key is the digest of the
+// complete body, so a re-submitted trace is served from cache even
+// though streaming cannot short-circuit the upload.
+func TestStreamCacheHitAfterUpload(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, Stream: true})
+	raw := testTrace(t, 2)
+
+	rec, j := post(t, s, raw, "")
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("first submit = %d: %s", rec.Code, rec.Body.String())
+	}
+	first := waitDone(t, s, j.ID)
+	if first.State != api.StateDone {
+		t.Fatalf("first job = %+v", first)
+	}
+
+	rec, j2 := post(t, s, raw, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("resubmit = %d, want 200: %s", rec.Code, rec.Body.String())
+	}
+	if !j2.Cached || j2.State != api.StateDone {
+		t.Fatalf("resubmit job = %+v, want cached+done", j2)
+	}
+	if j2.SHA256 != first.SHA256 {
+		t.Fatalf("sha mismatch: %s vs %s", j2.SHA256, first.SHA256)
+	}
+	st := s.CacheStats()
+	if st.Hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", st.Hits)
+	}
+
+	// The cached artifact serves for the second job too.
+	a := get(t, s, "/v1/jobs/"+first.ID+"/report")
+	b := get(t, s, "/v1/jobs/"+j2.ID+"/report")
+	if !bytes.Equal(a.Body.Bytes(), b.Body.Bytes()) {
+		t.Error("cached report differs from computed one")
+	}
+}
+
+// TestStreamChunkedUpload: the body arrives over a pipe in small
+// chunks (no Content-Length, as with chunked transfer encoding); the
+// analysis ingests it as it arrives and completes normally.
+func TestStreamChunkedUpload(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, Stream: true})
+	raw := testTrace(t, 3)
+
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		defer pw.Close()
+		for len(raw) > 0 {
+			n := 256
+			if n > len(raw) {
+				n = len(raw)
+			}
+			if _, err := pw.Write(raw[:n]); err != nil {
+				done <- err
+				return
+			}
+			raw = raw[n:]
+		}
+		done <- nil
+	}()
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs?name=chunked.trace", pr)
+	req.ContentLength = -1
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", rec.Code, rec.Body.String())
+	}
+	var j api.Job
+	if err := json.Unmarshal(rec.Body.Bytes(), &j); err != nil {
+		t.Fatal(err)
+	}
+	j = waitDone(t, s, j.ID)
+	if j.State != api.StateDone {
+		t.Fatalf("job = %+v", j)
+	}
+}
+
+// TestStreamSubmitErrors: streaming rejects garbage, validation
+// failures, and empty bodies with the same statuses as buffered mode.
+func TestStreamSubmitErrors(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, Stream: true})
+
+	if rec, _ := post(t, s, []byte("not a trace at all"), ""); rec.Code != http.StatusBadRequest {
+		t.Errorf("garbage = %d, want 400", rec.Code)
+	}
+	if rec, _ := post(t, s, nil, ""); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty = %d, want 400", rec.Code)
+	} else if !strings.Contains(rec.Body.String(), "empty request body") {
+		t.Errorf("empty body message = %s", rec.Body.String())
+	}
+
+	// Structurally decodable but semantically invalid: duplicate begin.
+	bad := trace.New()
+	bad.Tasks[1] = trace.TaskInfo{ID: 1, Kind: trace.KindThread, Name: "T"}
+	bad.Append(trace.Entry{Task: 1, Op: trace.OpBegin})
+	bad.Append(trace.Entry{Task: 1, Op: trace.OpBegin, Time: 1})
+	var buf bytes.Buffer
+	if err := bad.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := post(t, s, buf.Bytes(), "")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("invalid trace = %d, want 400", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "validation") {
+		t.Errorf("invalid trace message = %s", rec.Body.String())
+	}
+}

@@ -43,6 +43,13 @@ type Config struct {
 	Burst int
 	// BurstEvents is the events sent to each burst looper.
 	BurstEvents int
+	// AccessesPer pads every event body with this many benign scalar
+	// reads of an event-private variable. They add no reduced nodes, no
+	// detection candidates, and no lock traffic — pure trace length.
+	// The knob scales entry volume independently of analysis work,
+	// which is exactly what separates O(trace) batch memory from
+	// O(window) streaming memory in the RSS benchmark.
+	AccessesPer int
 }
 
 // Trace builds the synthetic trace. The result passes
@@ -154,11 +161,21 @@ func Trace(cfg Config) *trace.Trace {
 	add(trace.Entry{Task: front, Op: trace.OpBegin, Queue: queues[0]})
 	add(trace.Entry{Task: front, Op: trace.OpEnd})
 
+	// Benign filler: scalar reads of an event-private variable, a
+	// no-op for every pass (see Config.AccessesPer).
+	filler := func(ev trace.TaskID) {
+		v := trace.MakeVar(trace.ObjID(1<<20+uint64(ev)), trace.FieldID(1<<20))
+		for a := 0; a < cfg.AccessesPer; a++ {
+			add(trace.Entry{Task: ev, Op: trace.OpRead, Var: v})
+		}
+	}
+
 	// Each level's events run in send order; each uses its chain's
 	// shared pointer and seeds the next level.
 	for i := 0; i < cfg.Chain; i++ {
 		for j, ev := range events[i] {
 			add(trace.Entry{Task: ev, Op: trace.OpBegin, Queue: queues[i]})
+			filler(ev)
 			if j < cfg.FreeThreads {
 				m := useMethod(i, j)
 				add(trace.Entry{Task: ev, Op: trace.OpPtrRead, Var: varOf(j),
@@ -179,6 +196,7 @@ func Trace(cfg Config) *trace.Trace {
 	for l := range bloopers {
 		for j, ev := range bevents[l] {
 			add(trace.Entry{Task: ev, Op: trace.OpBegin, Queue: bqueues[l]})
+			filler(ev)
 			if cfg.FreeThreads > 0 {
 				v := j % cfg.FreeThreads
 				m := burstMethod(l, j)

@@ -203,54 +203,66 @@ func encodeEntry(bw *bufio.Writer, e *Entry) error {
 	return nil
 }
 
-// Decode reads a binary trace written by Encode.
+// Decode reads a binary trace written by Encode. It is a collect-all
+// wrapper over the streaming decoder; entry-section errors are
+// *PosError values with the entry index and byte offset.
 func Decode(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	var mg [4]byte
-	if _, err := io.ReadFull(br, mg[:]); err != nil {
-		return nil, fmt.Errorf("trace: decode: %w", err)
-	}
-	if string(mg[:]) != magic {
-		return nil, errors.New("trace: decode: bad magic")
-	}
-	ver, err := getUvarint(br)
+	d, err := newBinaryStream(asBufio(r))
 	if err != nil {
 		return nil, err
 	}
+	return collect(d)
+}
+
+// decodeBinaryHeader reads magic, version, the task table, the name
+// tables, and the declared entry count. The returned trace has no
+// Entries; StreamLen carries the declared count.
+func decodeBinaryHeader(br byteReader) (*Trace, int, error) {
+	var mg [4]byte
+	if _, err := io.ReadFull(br, mg[:]); err != nil {
+		return nil, 0, fmt.Errorf("trace: decode: %w", err)
+	}
+	if string(mg[:]) != magic {
+		return nil, 0, errors.New("trace: decode: bad magic")
+	}
+	ver, err := getUvarint(br)
+	if err != nil {
+		return nil, 0, err
+	}
 	if ver != formatVersion {
-		return nil, fmt.Errorf("trace: decode: unsupported version %d", ver)
+		return nil, 0, fmt.Errorf("trace: decode: unsupported version %d", ver)
 	}
 	tr := New()
 
 	ntasks, err := getUvarint(br)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	for i := uint64(0); i < ntasks; i++ {
 		var ti TaskInfo
 		id, err := getUvarint(br)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		kind, err := getUvarint(br)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		name, err := getString(br)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		looper, err := getUvarint(br)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		queue, err := getUvarint(br)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		proc, err := getVarint(br)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		ti.ID = TaskID(id)
 		ti.Kind = TaskKind(kind)
@@ -262,15 +274,15 @@ func Decode(r io.Reader) (*Trace, error) {
 	}
 	fields, err := getNameTable(br)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	methods, err := getNameTable(br)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	queues, err := getNameTable(br)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	for k, v := range fields {
 		tr.Fields[FieldID(k)] = v
@@ -284,23 +296,16 @@ func Decode(r io.Reader) (*Trace, error) {
 
 	n, err := getUvarint(br)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if n > math.MaxInt32 {
-		return nil, fmt.Errorf("trace: decode: absurd entry count %d", n)
+		return nil, 0, fmt.Errorf("trace: decode: absurd entry count %d", n)
 	}
-	tr.Entries = make([]Entry, 0, n)
-	for i := uint64(0); i < n; i++ {
-		e, err := decodeEntry(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: decode entry %d: %w", i, err)
-		}
-		tr.Entries = append(tr.Entries, e)
-	}
-	return tr, nil
+	tr.StreamLen = int(n)
+	return tr, int(n), nil
 }
 
-func decodeEntry(br *bufio.Reader) (Entry, error) {
+func decodeEntry(br byteReader) (Entry, error) {
 	var e Entry
 	op, err := br.ReadByte()
 	if err != nil {
@@ -407,15 +412,15 @@ func putString(bw *bufio.Writer, s string) {
 	bw.WriteString(s) //nolint:errcheck
 }
 
-func getUvarint(br *bufio.Reader) (uint64, error) {
+func getUvarint(br io.ByteReader) (uint64, error) {
 	return binary.ReadUvarint(br)
 }
 
-func getVarint(br *bufio.Reader) (int64, error) {
+func getVarint(br io.ByteReader) (int64, error) {
 	return binary.ReadVarint(br)
 }
 
-func getString(br *bufio.Reader) (string, error) {
+func getString(br byteReader) (string, error) {
 	n, err := getUvarint(br)
 	if err != nil {
 		return "", err
@@ -456,7 +461,7 @@ func putNameTable(bw *bufio.Writer, m map[uint32]string) {
 	}
 }
 
-func getNameTable(br *bufio.Reader) (map[uint32]string, error) {
+func getNameTable(br byteReader) (map[uint32]string, error) {
 	n, err := getUvarint(br)
 	if err != nil {
 		return nil, err

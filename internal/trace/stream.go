@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// Streaming decode layer. A StreamDecoder yields entries one at a time
+// so callers can analyze a trace without materializing Entries; the
+// batch Decode/DecodeText/DecodeAuto functions are thin collect-all
+// wrappers over it. Decode errors inside the entry section are
+// *PosError values carrying the entry index plus a byte offset
+// (binary) or line number (text).
+
+// Format identifies the wire encoding of a trace stream.
+type Format int
+
+const (
+	FormatUnknown Format = iota
+	FormatBinary         // magic "CAFA"
+	FormatText           // magic "CAFA-TEXT"
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatBinary:
+		return "binary"
+	case FormatText:
+		return "text"
+	}
+	return "unknown"
+}
+
+// PosError is a decode error with position information. Text-format
+// errors render as "trace: decode text: line N: ..." (the historical
+// format); binary errors render the entry index and the byte offset
+// at which the failing entry starts.
+type PosError struct {
+	Entry  int   // entry index, -1 when the error is outside the entry section
+	Offset int64 // absolute byte offset of the failing entry (binary only)
+	Line   int   // 1-based line number (text only, 0 for binary)
+	Err    error
+}
+
+func (e *PosError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("trace: decode text: line %d: %v", e.Line, e.Err)
+	}
+	return fmt.Sprintf("trace: decode entry %d at byte %d: %v", e.Entry, e.Offset, e.Err)
+}
+
+func (e *PosError) Unwrap() error { return e.Err }
+
+// byteReader is what the binary decoding helpers need: varints read
+// byte-at-a-time, strings in bulk.
+type byteReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+// posReader counts bytes consumed from the wrapped buffered reader so
+// binary decode errors can report absolute offsets. It sits above
+// bufio, so counting costs one add per read and no extra copying.
+type posReader struct {
+	br *bufio.Reader
+	n  int64
+}
+
+func (p *posReader) ReadByte() (byte, error) {
+	b, err := p.br.ReadByte()
+	if err == nil {
+		p.n++
+	}
+	return b, err
+}
+
+func (p *posReader) Read(buf []byte) (int, error) {
+	n, err := p.br.Read(buf)
+	p.n += int64(n)
+	return n, err
+}
+
+// sniffWindow is how many bytes NewStreamDecoder peeks to identify
+// the format. Peeking tolerates short streams: a trace smaller than
+// the window (or whose first line is shorter than it) still sniffs
+// correctly from whatever bytes are available.
+const sniffWindow = 64
+
+// StreamDecoder decodes a trace incrementally: header first, then one
+// entry per Next call. Memory use is O(header), not O(trace).
+type StreamDecoder struct {
+	format   Format
+	hdr      *Trace
+	declared int
+	next     int
+	err      error
+
+	pr *posReader  // binary state
+	tx *textReader // text state
+}
+
+func asBufio(rd io.Reader) *bufio.Reader {
+	if br, ok := rd.(*bufio.Reader); ok {
+		return br
+	}
+	return bufio.NewReader(rd)
+}
+
+// NewStreamDecoder sniffs the format from a peek buffer (no
+// consumption) and reads the header: task table, name tables, and the
+// declared entry count. Entries are then pulled with Next.
+func NewStreamDecoder(rd io.Reader) (*StreamDecoder, error) {
+	br := asBufio(rd)
+	head, err := br.Peek(sniffWindow)
+	if len(head) == 0 && err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if bytes.HasPrefix(head, []byte(textMagic)) {
+		return newTextStream(br)
+	}
+	return newBinaryStream(br)
+}
+
+func newBinaryStream(br *bufio.Reader) (*StreamDecoder, error) {
+	pr := &posReader{br: br}
+	hdr, n, err := decodeBinaryHeader(pr)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamDecoder{format: FormatBinary, hdr: hdr, declared: n, pr: pr}, nil
+}
+
+func newTextStream(br *bufio.Reader) (*StreamDecoder, error) {
+	tx := &textReader{br: br}
+	hdr, n, err := decodeTextHeader(tx)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamDecoder{format: FormatText, hdr: hdr, declared: n, tx: tx}, nil
+}
+
+// Format reports the sniffed wire format.
+func (d *StreamDecoder) Format() Format { return d.format }
+
+// Header returns the table-only trace: Tasks and name tables filled,
+// Entries nil, StreamLen set to the declared entry count so Len()
+// reports the full length. The same *Trace is shared with collect-all
+// wrappers; callers must not retain it across decoders.
+func (d *StreamDecoder) Header() *Trace { return d.hdr }
+
+// Len returns the declared entry count.
+func (d *StreamDecoder) Len() int { return d.declared }
+
+// Next returns the next entry, or io.EOF after the declared count has
+// been delivered. Decode failures return a *PosError and poison the
+// decoder (subsequent calls repeat the error).
+func (d *StreamDecoder) Next() (Entry, error) {
+	if d.err != nil {
+		return Entry{}, d.err
+	}
+	if d.next >= d.declared {
+		d.err = io.EOF
+		return Entry{}, io.EOF
+	}
+	switch d.format {
+	case FormatBinary:
+		start := d.pr.n
+		e, err := decodeEntry(d.pr)
+		if err != nil {
+			d.err = &PosError{Entry: d.next, Offset: start, Err: err}
+			return Entry{}, d.err
+		}
+		d.next++
+		return e, nil
+	default: // FormatText
+		line, err := d.tx.next()
+		if err != nil {
+			d.err = d.tx.errf("entries: %v", err)
+			d.err.(*PosError).Entry = d.next
+			return Entry{}, d.err
+		}
+		e, err := parseEntryLine(line)
+		if err != nil {
+			pe := d.tx.errf("%v", err)
+			pe.(*PosError).Entry = d.next
+			d.err = pe
+			return Entry{}, d.err
+		}
+		d.next++
+		return e, nil
+	}
+}
+
+// DecodeStream sniffs the format and invokes fn once per entry in
+// order, stopping at the first error (decode failure or a non-nil
+// return from fn). It returns the header trace — tables plus
+// StreamLen, no Entries — so callers have the metadata without the
+// O(trace) entry slice.
+func DecodeStream(rd io.Reader, fn func(i int, e Entry) error) (*Trace, error) {
+	d, err := NewStreamDecoder(rd)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		e, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := fn(d.next-1, e); err != nil {
+			return nil, err
+		}
+	}
+	return d.hdr, nil
+}
+
+// collect drains a StreamDecoder into its header trace, producing the
+// same *Trace the historical batch decoders returned.
+func collect(d *StreamDecoder) (*Trace, error) {
+	tr := d.hdr
+	if d.declared > 0 {
+		tr.Entries = make([]Entry, 0, min(d.declared, 1<<20))
+	}
+	for {
+		e, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		tr.Entries = append(tr.Entries, e)
+	}
+	tr.StreamLen = 0 // fully materialized; Len() is len(Entries) again
+	return tr, nil
+}

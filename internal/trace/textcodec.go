@@ -157,67 +157,70 @@ func (r *textReader) next() (string, error) {
 	return strings.TrimSuffix(s, "\n"), nil
 }
 
+// errf builds a *PosError at the current line; the rendered message
+// keeps the historical "trace: decode text: line N: ..." format.
 func (r *textReader) errf(format string, args ...any) error {
-	return fmt.Errorf("trace: decode text: line %d: %s", r.line, fmt.Sprintf(format, args...))
+	return &PosError{Entry: -1, Line: r.line, Err: fmt.Errorf(format, args...)}
 }
 
-// DecodeText reads a trace written by EncodeText.
+// DecodeText reads a trace written by EncodeText. It is a collect-all
+// wrapper over the streaming decoder; positioned errors are *PosError
+// values carrying the line number.
 func DecodeText(rd io.Reader) (*Trace, error) {
-	r := &textReader{br: bufio.NewReader(rd)}
+	d, err := newTextStream(asBufio(rd))
+	if err != nil {
+		return nil, err
+	}
+	return collect(d)
+}
+
+// decodeTextHeader reads the magic line, the task table, the name
+// tables, and the "entries <n>" count line. The returned trace has no
+// Entries; StreamLen carries the declared count.
+func decodeTextHeader(r *textReader) (*Trace, int, error) {
 	header, err := r.next()
 	if err != nil {
-		return nil, fmt.Errorf("trace: decode text: %w", err)
+		return nil, 0, fmt.Errorf("trace: decode text: %w", err)
 	}
 	if header != fmt.Sprintf("%s %d", textMagic, textVersion) {
-		return nil, fmt.Errorf("trace: decode text: bad header %q", header)
+		return nil, 0, fmt.Errorf("trace: decode text: bad header %q", header)
 	}
 	tr := New()
 
 	ntasks, err := sectionCount(r, "tasks")
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	for i := 0; i < ntasks; i++ {
 		line, err := r.next()
 		if err != nil {
-			return nil, r.errf("task table: %v", err)
+			return nil, 0, r.errf("task table: %v", err)
 		}
 		ti, err := parseTaskLine(line)
 		if err != nil {
-			return nil, r.errf("%v", err)
+			return nil, 0, r.errf("%v", err)
 		}
 		if _, dup := tr.Tasks[ti.ID]; dup {
-			return nil, r.errf("duplicate task %d", ti.ID)
+			return nil, 0, r.errf("duplicate task %d", ti.ID)
 		}
 		tr.Tasks[ti.ID] = ti
 	}
 	if err := readTextTable(r, "fields", func(k uint32, v string) { tr.Fields[FieldID(k)] = v }); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := readTextTable(r, "methods", func(k uint32, v string) { tr.Methods[MethodID(k)] = v }); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := readTextTable(r, "queues", func(k uint32, v string) { tr.Queues[QueueID(k)] = v }); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 
 	n, err := sectionCount(r, "entries")
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	tr.Entries = make([]Entry, 0, min(n, 4096))
-	for i := 0; i < n; i++ {
-		line, err := r.next()
-		if err != nil {
-			return nil, r.errf("entries: %v", err)
-		}
-		e, err := parseEntryLine(line)
-		if err != nil {
-			return nil, r.errf("%v", err)
-		}
-		tr.Entries = append(tr.Entries, e)
-	}
-	return tr, nil
+	tr.StreamLen = n
+	return tr, n, nil
 }
 
 // sectionCount parses a "<section> <n>" line with a sanity bound.
@@ -398,15 +401,12 @@ func parseEntryLine(line string) (Entry, error) {
 }
 
 // DecodeAuto sniffs the format (binary "CAFA" vs text "CAFA-TEXT")
-// and decodes accordingly.
+// from a peek buffer and decodes accordingly. Sniffing never consumes
+// bytes and tolerates streams shorter than the peek window.
 func DecodeAuto(rd io.Reader) (*Trace, error) {
-	br := bufio.NewReader(rd)
-	head, err := br.Peek(len(textMagic))
-	if err != nil && len(head) == 0 {
-		return nil, fmt.Errorf("trace: decode: %w", err)
+	d, err := NewStreamDecoder(rd)
+	if err != nil {
+		return nil, err
 	}
-	if strings.HasPrefix(string(head), textMagic) {
-		return DecodeText(br)
-	}
-	return Decode(br)
+	return collect(d)
 }

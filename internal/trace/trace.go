@@ -19,6 +19,11 @@ type Trace struct {
 	Fields  map[FieldID]string
 	Methods map[MethodID]string
 	Queues  map[QueueID]string
+
+	// StreamLen is the entry count of a streamed trace whose Entries
+	// were consumed rather than materialized. It is zero for batch
+	// traces; Len() prefers it only when Entries is empty.
+	StreamLen int
 }
 
 // New returns an empty trace with initialized tables.
@@ -37,8 +42,15 @@ func (tr *Trace) Append(e Entry) int {
 	return len(tr.Entries) - 1
 }
 
-// Len returns the number of entries.
-func (tr *Trace) Len() int { return len(tr.Entries) }
+// Len returns the number of entries: the materialized count, or the
+// streamed count for a header-only trace whose entries were consumed
+// one at a time.
+func (tr *Trace) Len() int {
+	if n := len(tr.Entries); n > 0 || tr.StreamLen == 0 {
+		return n
+	}
+	return tr.StreamLen
+}
 
 // TaskName returns a diagnostic name for a task.
 func (tr *Trace) TaskName(t TaskID) string {
@@ -122,76 +134,105 @@ func (tr *Trace) EventCount() int {
 //
 // It returns the first violation found, or nil.
 func (tr *Trace) Validate() error {
-	type state struct {
-		begun, ended bool
-	}
-	states := make(map[TaskID]*state)
-	created := make(map[TaskID]int) // seq of fork/send creating the task
-	var lastTime int64
+	v := NewValidator(tr)
 	for i := range tr.Entries {
-		e := &tr.Entries[i]
-		if !e.Op.Valid() {
-			return fmt.Errorf("trace: entry %d: invalid op %d", i, uint8(e.Op))
+		if err := v.Entry(&tr.Entries[i]); err != nil {
+			return err
 		}
-		if e.Task == NoTask {
-			return fmt.Errorf("trace: entry %d (%s): zero task id", i, e)
-		}
-		if _, ok := tr.Tasks[e.Task]; !ok {
-			return fmt.Errorf("trace: entry %d (%s): task t%d not declared", i, e, e.Task)
-		}
-		if e.Time < lastTime {
-			return fmt.Errorf("trace: entry %d (%s): time goes backwards (%d < %d)", i, e, e.Time, lastTime)
-		}
-		lastTime = e.Time
+	}
+	return v.Finish()
+}
 
-		st := states[e.Task]
-		if st == nil {
-			st = &state{}
-			states[e.Task] = st
+// Validator performs the Validate checks incrementally, one entry at
+// a time, so a streamed trace can be validated without materializing
+// Entries. State is O(tasks), not O(trace). The header trace supplies
+// the task table; Finish runs the end-of-trace table checks.
+type Validator struct {
+	tr       *Trace
+	states   map[TaskID]*taskValState
+	created  map[TaskID]int // seq of fork/send creating the task
+	lastTime int64
+	i        int
+}
+
+type taskValState struct {
+	begun, ended bool
+}
+
+// NewValidator returns a Validator over the header's task table.
+func NewValidator(header *Trace) *Validator {
+	return &Validator{
+		tr:      header,
+		states:  make(map[TaskID]*taskValState),
+		created: make(map[TaskID]int),
+	}
+}
+
+// Entry checks the next entry in sequence; messages are identical to
+// the batch Validate.
+func (v *Validator) Entry(e *Entry) error {
+	tr, i := v.tr, v.i
+	v.i++
+	if !e.Op.Valid() {
+		return fmt.Errorf("trace: entry %d: invalid op %d", i, uint8(e.Op))
+	}
+	if e.Task == NoTask {
+		return fmt.Errorf("trace: entry %d (%s): zero task id", i, e)
+	}
+	if _, ok := tr.Tasks[e.Task]; !ok {
+		return fmt.Errorf("trace: entry %d (%s): task t%d not declared", i, e, e.Task)
+	}
+	if e.Time < v.lastTime {
+		return fmt.Errorf("trace: entry %d (%s): time goes backwards (%d < %d)", i, e, e.Time, v.lastTime)
+	}
+	v.lastTime = e.Time
+
+	st := v.states[e.Task]
+	if st == nil {
+		st = &taskValState{}
+		v.states[e.Task] = st
+	}
+	switch e.Op {
+	case OpBegin:
+		if st.begun {
+			return fmt.Errorf("trace: entry %d: task %s begins twice", i, tr.TaskName(e.Task))
 		}
-		switch e.Op {
-		case OpBegin:
-			if st.begun {
-				return fmt.Errorf("trace: entry %d: task %s begins twice", i, tr.TaskName(e.Task))
-			}
-			st.begun = true
-		case OpEnd:
-			if !st.begun {
-				return fmt.Errorf("trace: entry %d: task %s ends before beginning", i, tr.TaskName(e.Task))
-			}
-			if st.ended {
-				return fmt.Errorf("trace: entry %d: task %s ends twice", i, tr.TaskName(e.Task))
-			}
-			st.ended = true
-		default:
-			if !st.begun {
-				return fmt.Errorf("trace: entry %d (%s): operation before begin of %s", i, e, tr.TaskName(e.Task))
-			}
-			if st.ended {
-				return fmt.Errorf("trace: entry %d (%s): operation after end of %s", i, e, tr.TaskName(e.Task))
-			}
+		st.begun = true
+	case OpEnd:
+		if !st.begun {
+			return fmt.Errorf("trace: entry %d: task %s ends before beginning", i, tr.TaskName(e.Task))
 		}
-		switch e.Op {
-		case OpFork, OpSend, OpSendAtFront:
-			if e.Target == NoTask {
-				return fmt.Errorf("trace: entry %d (%s): zero target", i, e)
-			}
-			if tst := states[e.Target]; tst != nil && tst.begun {
-				return fmt.Errorf("trace: entry %d (%s): target t%d already began", i, e, e.Target)
-			}
-			if prev, dup := created[e.Target]; dup {
-				return fmt.Errorf("trace: entry %d (%s): task t%d created twice (first at %d)", i, e, e.Target, prev)
-			}
-			created[e.Target] = i
+		if st.ended {
+			return fmt.Errorf("trace: entry %d: task %s ends twice", i, tr.TaskName(e.Task))
+		}
+		st.ended = true
+	default:
+		if !st.begun {
+			return fmt.Errorf("trace: entry %d (%s): operation before begin of %s", i, e, tr.TaskName(e.Task))
+		}
+		if st.ended {
+			return fmt.Errorf("trace: entry %d (%s): operation after end of %s", i, e, tr.TaskName(e.Task))
 		}
 	}
-	for id, st := range states {
-		if st.begun && !st.ended {
-			// Unfinished tasks are allowed (a trace is a finite window
-			// over a live system), but loopers must be threads.
-			_ = id
+	switch e.Op {
+	case OpFork, OpSend, OpSendAtFront:
+		if e.Target == NoTask {
+			return fmt.Errorf("trace: entry %d (%s): zero target", i, e)
 		}
+		if tst := v.states[e.Target]; tst != nil && tst.begun {
+			return fmt.Errorf("trace: entry %d (%s): target t%d already began", i, e, e.Target)
+		}
+		if prev, dup := v.created[e.Target]; dup {
+			return fmt.Errorf("trace: entry %d (%s): task t%d created twice (first at %d)", i, e, e.Target, prev)
+		}
+		v.created[e.Target] = i
 	}
+	return nil
+}
+
+// Finish runs the end-of-trace task-table checks.
+func (v *Validator) Finish() error {
+	tr := v.tr
 	for id, ti := range tr.Tasks {
 		if ti.ID != 0 && ti.ID != id {
 			return fmt.Errorf("trace: task table entry %d has mismatched ID %d", id, ti.ID)
