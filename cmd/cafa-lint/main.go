@@ -16,8 +16,18 @@
 //
 // Usage:
 //
-//	cafa-lint [-app name|all] [-trace file] [-dynamic]
+// The static event-order pass (-order, on by default) additionally
+// computes a must-happens-before relation from the app's event
+// topology (posts, fork/join, rpc, listener registration, program
+// order) under the closed world of harness entry points. Ordered
+// pairs are annotated static-ordered instead of being counted as
+// coverage gaps, and -json carries the ordering witness path.
+//
+// Usage:
+//
+//	cafa-lint [-app name|all] [-trace file] [-dynamic] [-order=false]
 //	          [-scale N] [-seed N] [-json] [-bench] [-metrics]
+//	          [-html-out file]
 package main
 
 import (
@@ -26,14 +36,18 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"cafa/internal/analysis"
 	"cafa/internal/apps"
 	"cafa/internal/buildinfo"
 	"cafa/internal/dataflow"
+	"cafa/internal/detect"
 	"cafa/internal/obs"
+	"cafa/internal/provenance"
 	"cafa/internal/sim"
 	"cafa/internal/static"
+	"cafa/internal/synth"
 	"cafa/internal/trace"
 )
 
@@ -49,11 +63,13 @@ type config struct {
 	version   bool
 	traceFile string
 	dynamic   bool
+	order     bool
 	scale     int
 	seed      uint64
 	asJSON    bool
 	bench     bool
 	metrics   bool
+	htmlOut   string
 }
 
 func parseArgs(args []string) (*config, error) {
@@ -62,11 +78,13 @@ func parseArgs(args []string) (*config, error) {
 		app     = fs.String("app", "all", "application model to lint (name, or 'all')")
 		traceIn = fs.String("trace", "", "recorded trace to cross-check against (single -app only)")
 		dynamic = fs.Bool("dynamic", false, "run the app and the dynamic detector in-process and cross-check")
+		order   = fs.Bool("order", true, "run the static event-order pass over the app's entry-point roots")
 		scale   = fs.Int("scale", 16, "event-volume divisor for -dynamic runs")
 		seed    = fs.Uint64("seed", 1, "scheduler seed for -dynamic runs")
 		asJSON  = fs.Bool("json", false, "emit the lint report as JSON")
 		bench   = fs.Bool("bench", false, "emit per-app static-pass timings as JSON (BENCH_static.json)")
 		metrics = fs.Bool("metrics", false, "append a summary of static-pass metrics after the report")
+		htmlOut = fs.String("html-out", "", "write an HTML triage report with the ranked static coverage gaps")
 		version = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -79,9 +97,9 @@ func parseArgs(args []string) (*config, error) {
 		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 	cfg := &config{
-		app: *app, traceFile: *traceIn, dynamic: *dynamic,
+		app: *app, traceFile: *traceIn, dynamic: *dynamic, order: *order,
 		scale: *scale, seed: *seed, asJSON: *asJSON, bench: *bench,
-		metrics: *metrics,
+		metrics: *metrics, htmlOut: *htmlOut,
 	}
 	if cfg.traceFile != "" && cfg.app == "all" {
 		return nil, fmt.Errorf("-trace needs a single -app (the trace must match the app's bytecode)")
@@ -153,6 +171,9 @@ func run(args []string, stdout io.Writer) error {
 	default:
 		err = emitText(stdout, lints)
 	}
+	if err == nil && cfg.htmlOut != "" {
+		err = writeHTML(cfg.htmlOut, lints)
+	}
 	if err == nil && cfg.metrics {
 		err = obs.WriteSummary(stdout)
 	}
@@ -167,7 +188,14 @@ func lintApp(cfg *config, spec apps.Spec) (*appLint, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &appLint{spec: spec, b: b, st: static.Analyze(b.Prog)}
+	stOpts := static.Options{}
+	if cfg.order {
+		// The build wires every thread start and event injection before
+		// Run, so the closed-world root inventory exists without
+		// executing the app — ordering verdicts stay scale-independent.
+		stOpts.Roots = static.RootsFromNames(b.Prog, b.Sys.Roots())
+	}
+	l := &appLint{spec: spec, b: b, st: static.AnalyzeOpts(b.Prog, stOpts)}
 
 	switch {
 	case cfg.dynamic:
@@ -198,7 +226,7 @@ func lintApp(cfg *config, spec apps.Spec) (*appLint, error) {
 		return nil, err
 	}
 	l.res = res
-	l.checked, l.gaps = static.CrossCheck(l.st.Pairs, res.Races)
+	l.checked, l.gaps = static.CrossCheck(l.st.Pairs, res.Races, l.st.Orders)
 	return l, nil
 }
 
@@ -214,17 +242,21 @@ func (l *appLint) methodName(id trace.MethodID) string {
 func (l *appLint) fieldName(id trace.FieldID) string { return l.b.Prog.FieldName(id) }
 
 // pairAnnotations renders the static classification suffix.
-func pairAnnotations(p static.Pair) string {
-	switch {
-	case p.Guarded && p.AllocSafe:
-		return " [statically-guarded, alloc-safe]"
-	case p.Guarded:
-		return " [statically-guarded]"
-	case p.AllocSafe:
-		return " [alloc-safe]"
-	default:
+func pairAnnotations(p static.Pair, orders *static.Orders) string {
+	var tags []string
+	if p.Guarded {
+		tags = append(tags, "statically-guarded")
+	}
+	if p.AllocSafe {
+		tags = append(tags, "alloc-safe")
+	}
+	if _, ok := orders.Lookup(p.Key); ok {
+		tags = append(tags, "static-ordered")
+	}
+	if len(tags) == 0 {
 		return ""
 	}
+	return " [" + strings.Join(tags, ", ") + "]"
 }
 
 func emitText(w io.Writer, lints []*appLint) error {
@@ -250,7 +282,10 @@ func emitText(w io.Writer, lints []*appLint) error {
 				l.methodName(p.Key.UseMethod), p.Key.UsePC,
 				l.methodName(p.Load.Method), p.Load.PC,
 				l.methodName(p.Key.FreeMethod), p.Key.FreePC,
-				pairAnnotations(p))
+				pairAnnotations(p, st.Orders))
+		}
+		if st.Orders.Ordered() > 0 {
+			fmt.Fprintf(w, "statically-ordered pairs: %d\n", st.Orders.Ordered())
 		}
 		if l.res != nil {
 			fmt.Fprintf(w, "cross-check against dynamic report (%d races):\n", len(l.res.Races))
@@ -263,13 +298,39 @@ func emitText(w io.Writer, lints []*appLint) error {
 					l.methodName(k.FreeMethod), k.FreePC,
 					cr.Race.Class)
 			}
-			fmt.Fprintf(w, "coverage gaps (static pairs not dynamically reported): %d\n", len(l.gaps))
+			unordered := 0
 			for _, g := range l.gaps {
+				if !g.Ordered {
+					unordered++
+				}
+			}
+			fmt.Fprintf(w, "coverage gaps (static pairs not dynamically reported): %d\n", unordered)
+			for _, g := range l.gaps {
+				if g.Ordered {
+					continue
+				}
 				k := g.Pair.Key
 				fmt.Fprintf(w, "  %s: use %s:%d free %s:%d\n",
 					l.fieldName(k.Field),
 					l.methodName(k.UseMethod), k.UsePC,
 					l.methodName(k.FreeMethod), k.FreePC)
+			}
+			if n := len(l.gaps) - unordered; n > 0 {
+				fmt.Fprintf(w, "statically-ordered pairs excluded from gaps: %d\n", n)
+				for _, g := range l.gaps {
+					if !g.Ordered {
+						continue
+					}
+					k := g.Pair.Key
+					dir := "use-before-free"
+					if !g.UseBeforeFree {
+						dir = "free-before-use"
+					}
+					fmt.Fprintf(w, "  %s: use %s:%d free %s:%d [%s]\n",
+						l.fieldName(k.Field),
+						l.methodName(k.UseMethod), k.UsePC,
+						l.methodName(k.FreeMethod), k.FreePC, dir)
+				}
 			}
 		}
 		fmt.Fprintln(w)
@@ -298,17 +359,22 @@ type pairJSON struct {
 	FreePC     uint32 `json:"freePC"`
 	Guarded    bool   `json:"guarded"`
 	AllocSafe  bool   `json:"allocSafe"`
+	// Ordered: the static event-order pass proved the pair
+	// must-ordered; OrderWitness is its derivation path.
+	Ordered      bool     `json:"ordered,omitempty"`
+	OrderWitness []string `json:"orderWitness,omitempty"`
 }
 
 // checkJSON is one cross-checked dynamic race.
 type checkJSON struct {
-	Verdict    string `json:"verdict"`
-	Class      string `json:"class"`
-	Field      string `json:"field"`
-	UseMethod  string `json:"useMethod"`
-	UsePC      uint32 `json:"usePC"`
-	FreeMethod string `json:"freeMethod"`
-	FreePC     uint32 `json:"freePC"`
+	Verdict      string   `json:"verdict"`
+	Class        string   `json:"class"`
+	Field        string   `json:"field"`
+	UseMethod    string   `json:"useMethod"`
+	UsePC        uint32   `json:"usePC"`
+	FreeMethod   string   `json:"freeMethod"`
+	FreePC       uint32   `json:"freePC"`
+	OrderWitness []string `json:"orderWitness,omitempty"`
 }
 
 // appJSON is the per-app lint report.
@@ -339,13 +405,14 @@ func emitJSON(w io.Writer, lints []*appLint) error {
 			for _, cr := range l.checked {
 				k := cr.Race.Key()
 				a.Checked = append(a.Checked, checkJSON{
-					Verdict:    cr.Verdict.String(),
-					Class:      cr.Race.Class.String(),
-					Field:      l.fieldName(k.Field),
-					UseMethod:  l.methodName(k.UseMethod),
-					UsePC:      uint32(k.UsePC),
-					FreeMethod: l.methodName(k.FreeMethod),
-					FreePC:     uint32(k.FreePC),
+					Verdict:      cr.Verdict.String(),
+					Class:        cr.Race.Class.String(),
+					Field:        l.fieldName(k.Field),
+					UseMethod:    l.methodName(k.UseMethod),
+					UsePC:        uint32(k.UsePC),
+					FreeMethod:   l.methodName(k.FreeMethod),
+					FreePC:       uint32(k.FreePC),
+					OrderWitness: cr.OrderWitness,
 				})
 			}
 			for _, g := range l.gaps {
@@ -360,7 +427,7 @@ func emitJSON(w io.Writer, lints []*appLint) error {
 }
 
 func (l *appLint) pairJSON(p static.Pair) pairJSON {
-	return pairJSON{
+	pj := pairJSON{
 		Field:      l.fieldName(p.Key.Field),
 		UseMethod:  l.methodName(p.Key.UseMethod),
 		UsePC:      uint32(p.Key.UsePC),
@@ -371,29 +438,168 @@ func (l *appLint) pairJSON(p static.Pair) pairJSON {
 		Guarded:    p.Guarded,
 		AllocSafe:  p.AllocSafe,
 	}
+	if info, ok := l.st.Orders.Lookup(p.Key); ok {
+		pj.Ordered = true
+		pj.OrderWitness = info.Witness
+	}
+	return pj
 }
 
-// benchJSON is one BENCH_static.json row.
+// benchJSON is one BENCH_static.json row. The ordering fields record
+// the event-order pass: distinct pairs proved must-ordered, coverage
+// gaps without vs with the pass, and the candidate pairs still
+// dispatched to a dynamic HB query after the prune projection.
 type benchJSON struct {
-	App        string        `json:"app"`
-	Methods    int           `json:"methods"`
-	DerefSites int           `json:"derefSites"`
-	Pairs      int           `json:"pairs"`
-	Timing     static.Timing `json:"timing"`
+	App              string        `json:"app"`
+	Methods          int           `json:"methods"`
+	DerefSites       int           `json:"derefSites"`
+	Pairs            int           `json:"pairs"`
+	OrderedPairs     int           `json:"orderedPairs"`
+	GapsWithoutOrder int           `json:"gapsWithoutOrder"`
+	GapsWithOrder    int           `json:"gapsWithOrder"`
+	DynDispatch      int           `json:"dynamicDispatchPairs"`
+	// Synth rows only: the open-world control. No bytecode exists for
+	// synthetic traces, so the order pass sits at bottom and every
+	// dynamic candidate is dispatched to the HB query — the
+	// conservative-bottom behavior the closed-world caveat demands.
+	DynCandidates     int `json:"dynamicCandidates,omitempty"`
+	StaticOrderPruned int `json:"staticOrderPruned,omitempty"`
+
+	Timing static.Timing `json:"timing"`
 }
 
 func emitBench(w io.Writer, lints []*appLint) error {
-	out := make([]benchJSON, 0, len(lints))
+	out := make([]benchJSON, 0, len(lints)+1)
 	for _, l := range lints {
-		out = append(out, benchJSON{
+		row := benchJSON{
 			App:        l.spec.Name,
 			Methods:    len(l.b.Prog.Methods),
 			DerefSites: len(l.st.Resolutions),
 			Pairs:      len(l.st.Pairs),
 			Timing:     l.st.Timing,
-		})
+		}
+		// Distinct site pairs, and how the order pass splits them.
+		keys := make(map[string]bool)
+		dispatch := 0
+		for _, p := range l.st.Pairs {
+			id := fmt.Sprintf("%d/%d/%d/%d/%d", p.Key.Field, p.Key.UseMethod, p.Key.UsePC,
+				p.Key.FreeMethod, p.Key.FreePC)
+			if keys[id] {
+				continue
+			}
+			keys[id] = true
+			info, ok := l.st.Orders.Lookup(p.Key)
+			if !ok || !info.DynSound {
+				dispatch++
+			}
+			if !p.Guarded && !p.AllocSafe {
+				row.GapsWithoutOrder++
+				if !ok {
+					row.GapsWithOrder++
+				}
+			}
+		}
+		row.OrderedPairs = l.st.Orders.Ordered()
+		row.DynDispatch = dispatch
+		out = append(out, row)
+	}
+	if row, err := synthBenchRow(); err == nil {
+		out = append(out, row)
+	} else {
+		return err
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// siteString renders a SiteKey with program name tables (static-only
+// runs have no trace tables to feed provenance.SiteString).
+func (l *appLint) siteString(k detect.SiteKey) string {
+	return fmt.Sprintf("%s: use %s@%d free %s@%d",
+		l.fieldName(k.Field),
+		l.methodName(k.UseMethod), k.UsePC,
+		l.methodName(k.FreeMethod), k.FreePC)
+}
+
+// gapRecords renders the app's static coverage gaps as provenance
+// records. With a dynamic cross-check the gaps come from CrossCheck;
+// without one every unguarded static pair is a (potential) gap.
+func (l *appLint) gapRecords() []provenance.GapRecord {
+	var out []provenance.GapRecord
+	if l.res != nil {
+		for _, g := range l.gaps {
+			out = append(out, provenance.GapRecord{
+				Site:          l.siteString(g.Pair.Key),
+				Ordered:       g.Ordered,
+				UseBeforeFree: g.UseBeforeFree,
+				Witness:       g.Witness,
+			})
+		}
+		return out
+	}
+	seen := make(map[detect.SiteKey]bool)
+	for _, p := range l.st.Pairs {
+		if p.Guarded || p.AllocSafe || seen[p.Key] {
+			continue
+		}
+		seen[p.Key] = true
+		gr := provenance.GapRecord{Site: l.siteString(p.Key)}
+		if info, ok := l.st.Orders.Lookup(p.Key); ok {
+			gr.Ordered = true
+			gr.UseBeforeFree = info.UseBeforeFree
+			gr.Witness = info.Witness
+		}
+		out = append(out, gr)
+	}
+	return out
+}
+
+// writeHTML renders the lint results as the provenance HTML triage
+// report with the ranked static-coverage-gaps section per app.
+func writeHTML(path string, lints []*appLint) error {
+	lt := provenance.NewLiveTriage()
+	for _, l := range lints {
+		in := provenance.InputEvidence{
+			File:   l.spec.Name,
+			Races:  []provenance.RaceEvidence{},
+			Pruned: []provenance.PruneRecord{},
+		}
+		var stats detect.Stats
+		if l.res != nil {
+			stats = l.res.Stats
+			in.Events = l.tr.EventCount()
+			in.Entries = l.tr.Len()
+			in.Stats = stats
+		}
+		lt.Add(in, stats)
+		lt.AddGaps(l.spec.Name, l.gapRecords())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	snap := lt.Snapshot()
+	if err := provenance.WriteHTML(f, &snap); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// synthBenchRow measures the open-world control: a synthetic trace
+// with no bytecode behind it gets no static orders, so the detector
+// dispatches every candidate dynamically.
+func synthBenchRow() (benchJSON, error) {
+	tr := synth.Trace(synth.Config{Chain: 4, EventsPer: 8, FreeThreads: 4, Burst: 2, BurstEvents: 8})
+	res, err := analysis.Analyze(tr, analysis.Options{})
+	if err != nil {
+		return benchJSON{}, err
+	}
+	return benchJSON{
+		App:               "synth(open-world)",
+		DynCandidates:     res.Stats.Candidates,
+		StaticOrderPruned: res.Stats.FilteredStaticOrder,
+		DynDispatch:       res.Stats.Candidates - res.Stats.FilteredStaticOrder,
+	}, nil
 }

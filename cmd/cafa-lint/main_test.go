@@ -80,6 +80,27 @@ func TestGoldenToDoListCrossCheck(t *testing.T) {
 	}
 }
 
+// TestGoldenZXingJSON pins the machine format byte-for-byte: the
+// CheckedRace and Gap slices are sorted by SiteKey, so the JSON is
+// deterministic across runs — two fresh runs must agree with each
+// other and with the committed golden.
+func TestGoldenZXingJSON(t *testing.T) {
+	args := []string{"-app", "ZXing", "-trace", "../cafa-analyze/testdata/zxing.trace", "-json"}
+	out := golden(t, "golden_zxing.json", args)
+	var again bytes.Buffer
+	if err := run(args, &again); err != nil {
+		t.Fatal(err)
+	}
+	if out != again.String() {
+		t.Error("JSON output is not deterministic across runs")
+	}
+	for _, want := range []string{`"ordered": true`, `"orderWitness"`, `"verdict": "static-ordered"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON output missing %q", want)
+		}
+	}
+}
+
 // TestJSONIncludesVerdicts spot-checks the machine format.
 func TestJSONIncludesVerdicts(t *testing.T) {
 	var buf bytes.Buffer

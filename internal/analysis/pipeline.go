@@ -64,6 +64,15 @@ type Options struct {
 	// static if-guard pass proves covered by a null test. Requires
 	// Program.
 	StaticGuardPrune bool
+	// Roots is the closed-world entry-point inventory (method →
+	// injection/thread-start count) feeding the static event-order
+	// pass. Nil leaves the pass at its open-world bottom.
+	Roots map[trace.MethodID]int
+	// StaticOrderPrune skips the dynamic HB query for candidate pairs
+	// the static event-order pass proves must-ordered. Requires
+	// Program and Roots; sound only because the prune projection
+	// excludes lint-only ordering rules.
+	StaticOrderPrune bool
 	// Evidence attaches a provenance.Collector to each Detect call:
 	// Result.Evidence then carries per-race evidence records and
 	// per-filtered-candidate prune witnesses. Detection results are
@@ -79,7 +88,7 @@ type Options struct {
 
 // wantStatic reports whether the pipeline needs the static result.
 func (o *Options) wantStatic() bool {
-	return o.Program != nil && (o.Interproc || o.StaticGuardPrune)
+	return o.Program != nil && (o.Interproc || o.StaticGuardPrune || o.StaticOrderPrune)
 }
 
 // Result is the analysis of one trace.
@@ -201,7 +210,9 @@ func (p *Pipeline) AnalyzeSpanned(tr *trace.Trace, sp *obs.Span) (*Result, error
 			defer wg.Done()
 			spS := sp.Fork("static")
 			defer spS.End()
-			p.staticOnce.Do(func() { p.static = static.Analyze(p.opts.Program) })
+			p.staticOnce.Do(func() {
+				p.static = static.AnalyzeOpts(p.opts.Program, static.Options{Roots: p.opts.Roots})
+			})
 			st = p.static
 		}()
 	}
@@ -231,6 +242,9 @@ func (p *Pipeline) AnalyzeSpanned(tr *trace.Trace, sp *obs.Span) (*Result, error
 		}
 		if p.opts.StaticGuardPrune {
 			in.StaticGuards = st.Guards
+		}
+		if p.opts.StaticOrderPrune {
+			in.StaticOrders = st.Orders.PruneMap()
 		}
 	}
 	var col *provenance.Collector

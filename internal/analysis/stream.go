@@ -91,7 +91,9 @@ type StreamAnalyzer struct {
 func (p *Pipeline) NewStream(hdr *trace.Trace) *StreamAnalyzer {
 	var st *static.Result
 	if p.opts.wantStatic() {
-		p.staticOnce.Do(func() { p.static = static.Analyze(p.opts.Program) })
+		p.staticOnce.Do(func() {
+			p.static = static.AnalyzeOpts(p.opts.Program, static.Options{Roots: p.opts.Roots})
+		})
 		st = p.static
 	}
 	sources := p.opts.DerefSources
@@ -208,6 +210,9 @@ func (sa *StreamAnalyzer) FinishSpanned(sp *obs.Span) (*Result, error) {
 		}
 		if sa.p.opts.StaticGuardPrune {
 			in.StaticGuards = sa.st.Guards
+		}
+		if sa.p.opts.StaticOrderPrune {
+			in.StaticOrders = sa.st.Orders.PruneMap()
 		}
 	}
 	var col *provenance.Collector

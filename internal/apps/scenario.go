@@ -605,18 +605,18 @@ lskip:
 // the same looper: the send edge orders use ≺ free in the event-driven
 // model, so the candidate pair dies at the detector's ordered stage —
 // the teardown-after-use idiom every app has, and the prune whose
-// provenance witness is a happens-before path. The use also sits
-// behind a null test so the static pass classifies the pair guarded
-// and the cafa-lint cross-check does not count it as a coverage gap.
+// provenance witness is a happens-before path. The use is deliberately
+// unguarded: without the static event-order pass cafa-lint counts the
+// pair as a coverage gap, and the post-containment chain
+// (use ≺ end(ordUse) ≺ begin(ordFree) ≺ free) is exactly what -order
+// proves to reclassify it as statically ordered.
 func orderedBenign(id string) scenario {
 	ptr := "ptr_" + id
 	use := "ordUse_" + id
 	src := fmt.Sprintf(`
 .method ordUse_%[1]s(h) regs=6
     iget v1, h, ptr_%[1]s
-    if-eqz v1, oskip
     invoke-virtual run, v1
-oskip:
     sget-int v2, mainQ
     const-method v3, ordFree_%[1]s
     const-int v4, #0

@@ -86,6 +86,38 @@ handler:
 	}
 }
 
+func TestTryEdgesCoverBranchArms(t *testing.T) {
+	// Every instruction lexically inside the try/end-try pair gets the
+	// handler edge — both arms of a branch included — and a stray
+	// end-try with no open try is ignored rather than corrupting the
+	// scope stack.
+	m := method(t, `
+.method f(h) regs=3
+    end-try                ; pc 0: stray, no open scope
+    try handler            ; pc 1
+    if-eqz h, alt          ; pc 2: inside
+    nop                    ; pc 3: inside (then arm)
+alt:
+    nop                    ; pc 4: inside (else arm)
+    end-try                ; pc 5
+    return-void            ; pc 6
+handler:
+    return-void            ; pc 7
+.end
+`, "f")
+	edges := TryHandlerEdges(m)
+	for _, pc := range []int{2, 3, 4} {
+		if got := edges[pc]; !reflect.DeepEqual(got, []int{7}) {
+			t.Errorf("edges[%d] = %v, want [7]", pc, got)
+		}
+	}
+	for _, pc := range []int{0, 1, 5, 6, 7} {
+		if got := edges[pc]; len(got) != 0 {
+			t.Errorf("edges[%d] = %v, want none", pc, got)
+		}
+	}
+}
+
 func TestNestedTryEdges(t *testing.T) {
 	m := method(t, `
 .method f(h) regs=3

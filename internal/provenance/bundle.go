@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"cafa/internal/detect"
 	"cafa/internal/trace"
@@ -36,6 +37,34 @@ type InputEvidence struct {
 	Races         []RaceEvidence `json:"races"`
 	Pruned        []PruneRecord  `json:"pruned"`
 	PrunedDropped int            `json:"prunedDropped,omitempty"`
+	// Gaps lists static coverage gaps from the lint cross-check:
+	// statically-possible pairs the dynamic run never reported
+	// (attached by cafa-lint; absent from pure trace analyses).
+	Gaps []GapRecord `json:"gaps,omitempty"`
+}
+
+// GapRecord is one static coverage gap: an unguarded
+// statically-possible pair absent from the dynamic report. Ordered
+// gaps carry the event-order witness proving them topology-safe;
+// unordered gaps are the true coverage holes triage should read
+// first.
+type GapRecord struct {
+	Site          string   `json:"site"`
+	Ordered       bool     `json:"ordered,omitempty"`
+	UseBeforeFree bool     `json:"useBeforeFree,omitempty"`
+	Witness       []string `json:"witness,omitempty"`
+}
+
+// SortGaps ranks gaps for triage: true coverage holes (no static
+// order) first, topology-safe ordered gaps last, site order within
+// each group.
+func SortGaps(gaps []GapRecord) {
+	sort.SliceStable(gaps, func(i, j int) bool {
+		if gaps[i].Ordered != gaps[j].Ordered {
+			return !gaps[i].Ordered
+		}
+		return gaps[i].Site < gaps[j].Site
+	})
 }
 
 // EntryRef names one trace entry in exported form.
@@ -118,12 +147,13 @@ type PruneRecord struct {
 	FreeIdx int    `json:"freeIdx"`
 
 	// Stage-specific witness (exactly one group is populated).
-	Direction   string     `json:"direction,omitempty"`   // ordered
+	Direction   string     `json:"direction,omitempty"`   // ordered, static-order
 	Path        []EntryRef `json:"path,omitempty"`        // ordered
 	CommonLocks []string   `json:"commonLocks,omitempty"` // lockset
 	Alloc       *EntryRef  `json:"alloc,omitempty"`       // intra-alloc
 	Guard       *GuardRef  `json:"guard,omitempty"`       // if-guard
 	Class       string     `json:"class,omitempty"`       // dedup
+	StaticPath  []string   `json:"staticPath,omitempty"`  // static-order
 
 	PathTruncated bool `json:"pathTruncated,omitempty"`
 }
@@ -253,6 +283,13 @@ func (c *Collector) Bundle(file string) InputEvidence {
 			}
 		case detect.PruneDedup:
 			pr.Class = p.W.Class.String()
+		case detect.PruneStaticOrder:
+			if p.W.UseBeforeFree {
+				pr.Direction = DirUseBeforeFree.String()
+			} else {
+				pr.Direction = DirFreeBeforeUse.String()
+			}
+			pr.StaticPath = p.W.StaticPath
 		}
 		in.Pruned = append(in.Pruned, pr)
 	}

@@ -37,7 +37,8 @@ td.mono { font-family: monospace; }
 candidates={{.Stats.Candidates}} &middot;
 filtered: ordered={{.Stats.FilteredOrdered}} lockset={{.Stats.FilteredLockset}}
 if-guard={{.Stats.FilteredIfGuard}} intra-alloc={{.Stats.FilteredIntraAlloc}}
-static-guard={{.Stats.FilteredStaticGuard}} duplicates={{.Stats.Duplicates}}</p>
+static-guard={{.Stats.FilteredStaticGuard}} static-order={{.Stats.FilteredStaticOrder}}
+duplicates={{.Stats.Duplicates}}</p>
 {{range .Inputs}}
 <h2>{{.File}}</h2>
 <p class="stats">{{.Events}} events, {{.Entries}} trace entries &middot;
@@ -67,7 +68,20 @@ free: {{.FreeTask}} {{.FreeMethod}}@{{.FreePC}} (#{{.FreeIdx}}) &middot;
 <tr><th>stage</th><th>site</th><th>use#</th><th>free#</th><th>witness</th></tr>
 {{range .Pruned}}
 <tr><td>{{.Stage}}</td><td class="mono">{{.Site}}</td><td>{{.UseIdx}}</td><td>{{.FreeIdx}}</td>
-<td class="mono">{{if .Direction}}{{.Direction}}{{if .Path}} via {{len .Path}} step(s){{end}}{{end}}{{range .CommonLocks}}{{.}} {{end}}{{if .Alloc}}alloc #{{.Alloc.Idx}} {{.Alloc.Entry}}{{end}}{{if .Guard}}guard #{{.Guard.Idx}} {{.Guard.Entry}} region [{{.Guard.RegionLo}},{{.Guard.RegionHi}}]{{end}}{{if .Class}}dup of {{.Class}}{{end}}</td></tr>
+<td class="mono">{{if .Direction}}{{.Direction}}{{if .Path}} via {{len .Path}} step(s){{end}}{{if .StaticPath}} via static order ({{len .StaticPath}} step(s)){{end}}{{end}}{{range .CommonLocks}}{{.}} {{end}}{{if .Alloc}}alloc #{{.Alloc.Idx}} {{.Alloc.Entry}}{{end}}{{if .Guard}}guard #{{.Guard.Idx}} {{.Guard.Entry}} region [{{.Guard.RegionLo}},{{.Guard.RegionHi}}]{{end}}{{if .Class}}dup of {{.Class}}{{end}}</td></tr>
+{{end}}
+</table>
+{{end}}
+{{if .Gaps}}
+<h2 class="gaps-h">static coverage gaps — {{.File}}</h2>
+<p class="stats">ranked for triage: unordered gaps (true coverage holes) first,
+statically-ordered gaps (topology-safe) last</p>
+<table>
+<tr><th>site</th><th>static order</th><th>witness</th></tr>
+{{range .Gaps}}
+<tr><td class="mono">{{.Site}}</td>
+<td>{{if .Ordered}}{{if .UseBeforeFree}}use-before-free{{else}}free-before-use{{end}}{{else}}none — coverage hole{{end}}</td>
+<td class="mono">{{range $i, $s := .Witness}}{{if $i}}<br>{{end}}{{$s}}{{end}}</td></tr>
 {{end}}
 </table>
 {{end}}

@@ -30,15 +30,42 @@ func (l *LiveTriage) Add(in InputEvidence, stats detect.Stats) {
 	l.bundle.Stats.Add(stats)
 }
 
-// ServeHTTP renders the current snapshot as the HTML triage report.
-func (l *LiveTriage) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+// AddGaps attaches static coverage gaps to the input named file (or
+// appends a gaps-only input when no evidence was collected for it),
+// ranked with SortGaps. Safe for concurrent use.
+func (l *LiveTriage) AddGaps(file string, gaps []GapRecord) {
+	gaps = append([]GapRecord(nil), gaps...)
+	SortGaps(gaps)
 	l.mu.Lock()
-	snap := Bundle{
+	defer l.mu.Unlock()
+	for i := range l.bundle.Inputs {
+		if l.bundle.Inputs[i].File == file {
+			l.bundle.Inputs[i].Gaps = gaps
+			return
+		}
+	}
+	l.bundle.Inputs = append(l.bundle.Inputs, InputEvidence{
+		File:   file,
+		Races:  []RaceEvidence{},
+		Pruned: []PruneRecord{},
+		Gaps:   gaps,
+	})
+}
+
+// Snapshot returns a copy of the bundle collected so far.
+func (l *LiveTriage) Snapshot() Bundle {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Bundle{
 		Version: l.bundle.Version,
 		Inputs:  append([]InputEvidence(nil), l.bundle.Inputs...),
 		Stats:   l.bundle.Stats,
 	}
-	l.mu.Unlock()
+}
+
+// ServeHTTP renders the current snapshot as the HTML triage report.
+func (l *LiveTriage) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	snap := l.Snapshot()
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	_ = WriteHTML(w, &snap)
 }

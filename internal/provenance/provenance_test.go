@@ -388,3 +388,36 @@ func TestWriteHTML(t *testing.T) {
 		}
 	}
 }
+
+func TestGapsRankedInTriageHTML(t *testing.T) {
+	lt := provenance.NewLiveTriage()
+	// Deliberately unsorted: ordered pairs first, sites reversed.
+	lt.AddGaps("ZXing", []provenance.GapRecord{
+		{Site: "ptr_z use a:1 free b:1", Ordered: true, UseBeforeFree: true,
+			Witness: []string{"use a@1 [event evA, runs once]", "-> begin(evB) [post]"}},
+		{Site: "ptr_m use c:2 free d:3"},
+		{Site: "ptr_a use e:4 free f:5"},
+	})
+	snap := lt.Snapshot()
+	gaps := snap.Inputs[0].Gaps
+	if len(gaps) != 3 || gaps[0].Site != "ptr_a use e:4 free f:5" ||
+		gaps[1].Site != "ptr_m use c:2 free d:3" || !gaps[2].Ordered {
+		t.Fatalf("gaps not ranked unordered-first, site-sorted: %+v", gaps)
+	}
+	var buf bytes.Buffer
+	if err := provenance.WriteHTML(&buf, &snap); err != nil {
+		t.Fatal(err)
+	}
+	html := buf.String()
+	for _, want := range []string{
+		"static coverage gaps", "none — coverage hole", "use-before-free",
+		"begin(evB) [post]",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("triage HTML missing %q", want)
+		}
+	}
+	if hole, ord := strings.Index(html, "none — coverage hole"), strings.Index(html, "use-before-free"); hole > ord {
+		t.Error("coverage holes must render before ordered gaps")
+	}
+}

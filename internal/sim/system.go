@@ -148,6 +148,7 @@ type System struct {
 	monitors   map[trace.ObjID][]*Task
 	injections []injection
 	injSeq     int
+	roots      map[string]int
 
 	crashes    []Crash
 	steps      uint64
@@ -184,6 +185,7 @@ func NewSystem(prog *dvm.Program, cfg Config) *System {
 		listeners:  make(map[int64][]listenerEntry),
 		locks:      make(map[trace.ObjID]*lockState),
 		monitors:   make(map[trace.ObjID][]*Task),
+		roots:      make(map[string]int),
 	}
 	prog.DeclareNames(cfg.Tracer)
 	return s
@@ -261,8 +263,23 @@ func (s *System) StartThread(name, method string, arg dvm.Value) (*Task, error) 
 		return nil, err
 	}
 	t.ctx = ctx
+	s.roots[m.Name]++
 	s.startOrDelay(t, m.Name)
 	return t, nil
+}
+
+// Roots returns how many times each method name is entered directly by
+// the harness — thread bodies (StartThread) and injected events
+// (Inject). This is the closed-world entry-point inventory the static
+// event-order pass needs: with it, a method's activation count is
+// exactly roots plus statically-visible posts, so "runs at most once"
+// becomes decidable. The map is a copy.
+func (s *System) Roots() map[string]int {
+	out := make(map[string]int, len(s.roots))
+	for k, v := range s.roots {
+		out[k] = v
+	}
+	return out
 }
 
 // startOrDelay makes a freshly created thread runnable, honoring the
@@ -297,6 +314,7 @@ func (s *System) Inject(at int64, l *Looper, method string, arg dvm.Value, delay
 		at: at, looper: l, method: m, arg: arg, delay: delay, external: true, seq: s.injSeq,
 	})
 	s.injSeq++
+	s.roots[m.Name]++
 	return nil
 }
 

@@ -46,7 +46,7 @@ func TestStaticCoversDynamic(t *testing.T) {
 				pairKeys[p.Key] = true
 			}
 			truth := b.TruthByField()
-			checked, _ := static.CrossCheck(st.Pairs, res.Races)
+			checked, _ := static.CrossCheck(st.Pairs, res.Races, st.Orders)
 			for _, cr := range checked {
 				field := col.T.FieldName(cr.Race.Use.Var.Field())
 				pl, planted := truth[field]

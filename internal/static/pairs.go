@@ -103,7 +103,23 @@ func EnumeratePairs(cg *CallGraph, resolutions map[dataflow.Key]Resolution,
 			}
 		}
 	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Key.Less(pairs[j].Key) })
+	// Full tiebreak: distinct load sites can produce the same Key (two
+	// loads of one field feeding one deref), and a Key-only comparison
+	// under a non-stable sort left their order to map iteration. The
+	// Load fields break the tie so output is deterministic.
+	sort.Slice(pairs, func(i, j int) bool {
+		a, b := pairs[i], pairs[j]
+		if a.Key != b.Key {
+			return a.Key.Less(b.Key)
+		}
+		if a.Load.Method != b.Load.Method {
+			return a.Load.Method < b.Load.Method
+		}
+		if a.Load.PC != b.Load.PC {
+			return a.Load.PC < b.Load.PC
+		}
+		return a.Load.Field < b.Load.Field
+	})
 	return pairs
 }
 
@@ -120,6 +136,12 @@ const (
 	// VerdictAllocSafe: the race's load is allocation-dominated — a
 	// static intra-event-allocation witness.
 	VerdictAllocSafe
+	// VerdictStaticOrdered: the event-order pass proves the sites
+	// must-ordered, yet the dynamic run reported a race — the
+	// signature of a Type I false positive (an ordering rule the
+	// recorded trace could not expose, e.g. an uninstrumented
+	// listener registration).
+	VerdictStaticOrdered
 	// VerdictStaticConfirmed: the static pre-pass independently
 	// enumerates this exact site pair.
 	VerdictStaticConfirmed
@@ -136,6 +158,8 @@ func (v Verdict) String() string {
 		return "statically-guarded"
 	case VerdictAllocSafe:
 		return "alloc-safe"
+	case VerdictStaticOrdered:
+		return "static-ordered"
 	case VerdictStaticConfirmed:
 		return "static-confirmed"
 	case VerdictUnmatched:
@@ -149,6 +173,9 @@ func (v Verdict) String() string {
 type CheckedRace struct {
 	Race    detect.Race
 	Verdict Verdict
+	// OrderWitness is the event-order derivation behind a
+	// VerdictStaticOrdered annotation.
+	OrderWitness []string
 }
 
 // Gap is a statically-possible pair the dynamic run never reported —
@@ -157,15 +184,25 @@ type CheckedRace struct {
 // trace-bound detector cannot produce.
 type Gap struct {
 	Pair Pair
+	// Ordered: the event-order pass proves the sites must-ordered, so
+	// the pair is topology-safe, not a coverage hole. UseBeforeFree
+	// and Witness carry the derivation.
+	Ordered       bool
+	UseBeforeFree bool
+	Witness       []string
 }
 
 // CrossCheck annotates each dynamic race with its static verdict and
 // returns the coverage gaps: unguarded, non-alloc-safe static pairs
-// absent from the dynamic report.
-func CrossCheck(pairs []Pair, races []detect.Race) ([]CheckedRace, []Gap) {
+// absent from the dynamic report, each annotated with the event-order
+// pass's must-order when one exists (orders may be nil). Both slices
+// come back in deterministic SiteKey order.
+func CrossCheck(pairs []Pair, races []detect.Race, orders *Orders) ([]CheckedRace, []Gap) {
 	byKey := make(map[detect.SiteKey]Pair, len(pairs))
 	for _, p := range pairs {
-		byKey[p.Key] = p
+		if _, ok := byKey[p.Key]; !ok {
+			byKey[p.Key] = p
+		}
 	}
 	checked := make([]CheckedRace, 0, len(races))
 	reported := make(map[detect.SiteKey]bool, len(races))
@@ -174,22 +211,39 @@ func CrossCheck(pairs []Pair, races []detect.Race) ([]CheckedRace, []Gap) {
 		reported[k] = true
 		cr := CheckedRace{Race: r, Verdict: VerdictUnmatched}
 		if p, ok := byKey[k]; ok {
+			info, ordered := orders.Lookup(k)
 			switch {
 			case p.Guarded:
 				cr.Verdict = VerdictStaticallyGuarded
 			case p.AllocSafe:
 				cr.Verdict = VerdictAllocSafe
+			case ordered:
+				cr.Verdict = VerdictStaticOrdered
+				cr.OrderWitness = info.Witness
 			default:
 				cr.Verdict = VerdictStaticConfirmed
 			}
 		}
 		checked = append(checked, cr)
 	}
+	sort.SliceStable(checked, func(i, j int) bool {
+		return checked[i].Race.Key().Less(checked[j].Race.Key())
+	})
 	var gaps []Gap
+	seenGap := make(map[detect.SiteKey]bool)
 	for _, p := range pairs {
-		if !p.Guarded && !p.AllocSafe && !reported[p.Key] {
-			gaps = append(gaps, Gap{Pair: p})
+		if p.Guarded || p.AllocSafe || reported[p.Key] || seenGap[p.Key] {
+			continue
 		}
+		seenGap[p.Key] = true
+		g := Gap{Pair: p}
+		if info, ok := orders.Lookup(p.Key); ok {
+			g.Ordered = true
+			g.UseBeforeFree = info.UseBeforeFree
+			g.Witness = info.Witness
+		}
+		gaps = append(gaps, g)
 	}
+	sort.SliceStable(gaps, func(i, j int) bool { return gaps[i].Pair.Key.Less(gaps[j].Pair.Key) })
 	return checked, gaps
 }

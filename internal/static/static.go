@@ -45,6 +45,7 @@ type Timing struct {
 	Guards    time.Duration `json:"guards_ns"`
 	Alloc     time.Duration `json:"alloc_ns"`
 	Pairs     time.Duration `json:"pairs_ns"`
+	Order     time.Duration `json:"order_ns"`
 	Total     time.Duration `json:"total_ns"`
 }
 
@@ -65,12 +66,19 @@ type Result struct {
 	// allocating method.
 	NonEscaping map[dataflow.Key]bool
 	// Pairs is the static use-after-free pre-pass output.
-	Pairs  []Pair
+	Pairs []Pair
+	// Orders is the static event-order pass output (order.go). Empty
+	// unless Options.Roots supplied a closed world of entry points.
+	Orders *Orders
 	Timing Timing
 }
 
-// Analyze runs every static pass over a program.
-func Analyze(p *dvm.Program) *Result {
+// Analyze runs every static pass over a program with no entry-point
+// inventory — the event-order pass stays at its open-world bottom.
+func Analyze(p *dvm.Program) *Result { return AnalyzeOpts(p, Options{}) }
+
+// AnalyzeOpts runs every static pass over a program.
+func AnalyzeOpts(p *dvm.Program, opts Options) *Result {
 	sp := obs.Start("static.analyze")
 	defer sp.End()
 	res := &Result{}
@@ -92,6 +100,9 @@ func Analyze(p *dvm.Program) *Result {
 	})
 	pass("pairs", &res.Timing.Pairs, func() {
 		res.Pairs = EnumeratePairs(res.Graph, res.Resolutions, res.Guards, res.AllocSafe)
+	})
+	pass("order", &res.Timing.Order, func() {
+		res.Orders = ComputeOrders(res.Graph, res.Pairs, opts.Roots)
 	})
 
 	res.Timing.Total = time.Since(start)

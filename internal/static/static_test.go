@@ -161,6 +161,116 @@ func TestInterprocReturnResolution(t *testing.T) {
 	}
 }
 
+func TestInterprocParamDiamondSameLoad(t *testing.T) {
+	// Diamond call graph: top calls mid1 and mid2, both forward the
+	// same value to bottom. The two paths join at bottom's parameter;
+	// since both bind the one load in top, the union stays a single
+	// site and the projection keeps the precise SrcLoad answer.
+	p := assemble(t, runSink+`
+.method bottom(obj) regs=1
+    invoke-virtual run, obj
+    return-void
+.end
+
+.method mid1(x) regs=1
+    invoke-static bottom, x
+    return-void
+.end
+
+.method mid2(y) regs=1
+    invoke-static bottom, y
+    return-void
+.end
+
+.method top(h) regs=3
+    iget v1, h, ptr
+    invoke-static mid1, v1
+    invoke-static mid2, v1
+    return-void
+.end
+`)
+	bottom := methodID(t, p, "bottom")
+	top := methodID(t, p, "top")
+	res, srcs := ResolveDerefs(BuildCallGraph(p))
+	got := srcs[dataflow.Key{Method: bottom, PC: 0}]
+	if got.Kind != dataflow.SrcLoad || got.LoadPC != 0 || got.LoadMethod != top {
+		t.Errorf("diamond same-load deref = %+v, want load at top pc 0", got)
+	}
+	if r := res[dataflow.Key{Method: bottom, PC: 0}]; r.Incomplete || len(r.Sites) != 1 {
+		t.Errorf("diamond same-load resolution = %+v, want one complete site", r)
+	}
+}
+
+func TestInterprocParamDiamondDistinctLoads(t *testing.T) {
+	// Same diamond, but each path binds a different load. The union
+	// is complete (both origins known) yet ambiguous, so the
+	// projection must fall back to SrcUnknown rather than pick one.
+	p := assemble(t, runSink+`
+.method bottom(obj) regs=1
+    invoke-virtual run, obj
+    return-void
+.end
+
+.method mid1(x) regs=1
+    invoke-static bottom, x
+    return-void
+.end
+
+.method mid2(y) regs=1
+    invoke-static bottom, y
+    return-void
+.end
+
+.method top(h) regs=3
+    iget v1, h, ptrA
+    iget v2, h, ptrB
+    invoke-static mid1, v1
+    invoke-static mid2, v2
+    return-void
+.end
+`)
+	bottom := methodID(t, p, "bottom")
+	res, srcs := ResolveDerefs(BuildCallGraph(p))
+	if got := srcs[dataflow.Key{Method: bottom, PC: 0}]; got.Kind != dataflow.SrcUnknown {
+		t.Errorf("diamond distinct-loads deref = %+v, want SrcUnknown", got)
+	}
+	r := res[dataflow.Key{Method: bottom, PC: 0}]
+	if r.Incomplete || len(r.Sites) != 2 {
+		t.Errorf("diamond distinct-loads resolution = %+v, want two complete sites", r)
+	}
+}
+
+func TestInterprocReturnDiamond(t *testing.T) {
+	// The return-side diamond: the callee returns one of two loads
+	// depending on a branch; the caller's deref of the call result
+	// unions both return sites — complete but ambiguous, SrcUnknown.
+	p := assemble(t, runSink+`
+.method pick(h, c) regs=4
+    if-eqz c, other
+    iget v2, h, ptrA
+    return v2
+other:
+    iget v3, h, ptrB
+    return v3
+.end
+
+.method g(h) regs=3
+    invoke-static pick, h, h -> v1
+    invoke-virtual run, v1
+    return-void
+.end
+`)
+	g := methodID(t, p, "g")
+	res, srcs := ResolveDerefs(BuildCallGraph(p))
+	if got := srcs[dataflow.Key{Method: g, PC: 1}]; got.Kind != dataflow.SrcUnknown {
+		t.Errorf("diamond return deref = %+v, want SrcUnknown", got)
+	}
+	r := res[dataflow.Key{Method: g, PC: 1}]
+	if r.Incomplete || len(r.Sites) != 2 {
+		t.Errorf("diamond return resolution = %+v, want two complete sites", r)
+	}
+}
+
 func TestInterprocSendBinding(t *testing.T) {
 	p := assemble(t, runSink+`
 .method handler(arg) regs=2
@@ -424,7 +534,7 @@ skip:
 	}
 	bogus := wantPlain
 	bogus.UsePC = 99
-	checked, gaps := CrossCheck(st.Pairs, []detect.Race{raceAt(wantPlain), raceAt(bogus)})
+	checked, gaps := CrossCheck(st.Pairs, []detect.Race{raceAt(wantPlain), raceAt(bogus)}, st.Orders)
 	if checked[0].Verdict != VerdictStaticConfirmed {
 		t.Errorf("plain race verdict = %s, want static-confirmed", checked[0].Verdict)
 	}
@@ -434,7 +544,7 @@ skip:
 	if len(gaps) != 0 {
 		t.Errorf("gaps = %+v, want none (plain reported, guarded excluded)", gaps)
 	}
-	_, gaps = CrossCheck(st.Pairs, nil)
+	_, gaps = CrossCheck(st.Pairs, nil, st.Orders)
 	if len(gaps) != 1 || gaps[0].Pair.Key != wantPlain {
 		t.Errorf("gaps without dynamic report = %+v, want exactly the plain pair", gaps)
 	}
