@@ -1,0 +1,44 @@
+package static
+
+import (
+	"testing"
+
+	"cafa/internal/detect"
+	"cafa/internal/dvm"
+)
+
+// Review repro: the register site sits in a CFG cycle, so one fire
+// invokes the callback once per dynamic registration — more than one
+// activation. The engine must not claim the callback runs once.
+func TestOrderListenerRegisterInLoopMult(t *testing.T) {
+	p := assemble(t, `
+.method cb(h) regs=3
+    iget v1, h, ptr
+    const-null v2
+    iput v2, h, ptr
+    return-void
+.end
+
+.method root(h) regs=6
+loop:
+    const-int v1, #7
+    const-method v2, cb
+    register v1, v2
+    iget v3, h, ptr
+    if-eqz v3, loop
+    const-int v4, #7
+    fire v4, h
+    return-void
+.end
+`)
+	cb := methodID(t, p, "cb")
+	k := detect.SiteKey{
+		UseMethod: cb, UsePC: pcOf(t, p, "cb", dvm.CIget),
+		FreeMethod: cb, FreePC: pcOf(t, p, "cb", dvm.CIput),
+	}
+	o := ordersFor(t, p, []detect.SiteKey{k}, "root")
+	if info, ok := o.Lookup(k); ok {
+		t.Fatalf("engine ordered sites of a multiply-registered callback: %+v\nwitness:\n%s",
+			info, witnessText(info))
+	}
+}

@@ -1,0 +1,50 @@
+package static
+
+import (
+	"testing"
+
+	"cafa/internal/detect"
+	"cafa/internal/dvm"
+)
+
+// Review repro: the join site is conditionally skipped, so end(thread)
+// is NOT ordered before the handler's end on every run — yet the
+// engine derives a dyn-sound use-before-free order through the
+// skipped join site (end(T) -> join -> end(handler) -> rpc-return).
+func TestOrderConditionalJoinUnsound(t *testing.T) {
+	p := assemble(t, `
+.method tbody(h) regs=2
+    iget v1, h, ptr
+    return-void
+.end
+
+.method handler(h) regs=4
+    const-method v1, tbody
+    fork v1, h -> v2
+    iget v3, h, flag
+    if-eqz v3, skip
+    join v2
+skip:
+    return-void
+.end
+
+.method root(h) regs=5
+    sget-int v1, svc
+    const-method v2, handler
+    rpc v1, v2, h -> v3
+    const-null v4
+    iput v4, h, ptr
+    return-void
+.end
+`)
+	k := detect.SiteKey{
+		UseMethod: methodID(t, p, "tbody"), UsePC: pcOf(t, p, "tbody", dvm.CIget),
+		FreeMethod: methodID(t, p, "root"), FreePC: pcOf(t, p, "root", dvm.CIput),
+	}
+	o := ordersFor(t, p, []detect.SiteKey{k}, "root")
+	info, ok := o.Lookup(k)
+	if ok {
+		t.Fatalf("engine derived an order despite the conditional join: %+v\nwitness:\n%s",
+			info, witnessText(info))
+	}
+}
